@@ -1,0 +1,46 @@
+"""Section-5.2 text experiments: candidate selection and prefetch distance."""
+
+from repro.eval import (
+    ablation_all_candidates,
+    ablation_prefetch_distance,
+    render_ablation,
+)
+
+
+def test_all_candidates_ablation(benchmark, ctx):
+    """Selective slack-based marking vs marking every candidate (4-entry).
+
+    The paper reports marking everything overflows 4-entry buffers
+    (+6%); in this reproduction the effect concentrates on the
+    multi-stream benchmarks and is roughly cost-neutral elsewhere.
+    """
+    rows = benchmark.pedantic(
+        ablation_all_candidates, args=(ctx,), rounds=1, iterations=1
+    )
+    print()
+    print(
+        render_ablation(
+            rows,
+            "Selective vs all-candidates (4-entry L0)",
+            "selective",
+            "all_candidates",
+        )
+    )
+    for row in rows:
+        assert row["ratio"] > 0.8  # marking everything is never a big win
+
+
+def test_prefetch_distance_ablation(benchmark, ctx):
+    """Prefetching two subblocks ahead (paper: epicdec -12%, rasta -4%)."""
+    rows = benchmark.pedantic(
+        ablation_prefetch_distance, args=(ctx,), rounds=1, iterations=1
+    )
+    print()
+    print(
+        render_ablation(
+            rows, "Prefetch distance 1 vs 2", "distance_1", "distance_2"
+        )
+    )
+    by_name = {row["benchmark"]: row for row in rows}
+    # Deeper prefetch helps the small-II benchmarks.
+    assert by_name["rasta"]["ratio"] <= 1.01

@@ -1,0 +1,27 @@
+"""Compiler throughput: modulo-scheduling speed across the suite.
+
+Not a paper artifact — a regression guard on the scheduler's cost
+(ejection storms or window bugs show up here as big slowdowns).
+"""
+
+from repro.machine import l0_config, unified_config
+from repro.scheduler import compile_loop
+from repro.workloads import build
+
+
+def _compile_suite(config):
+    compiled = []
+    for name in ("g721dec", "jpegdec", "rasta"):
+        for spec in build(name).loops:
+            compiled.append(compile_loop(spec.loop, config))
+    return compiled
+
+
+def test_compile_throughput_baseline(benchmark):
+    results = benchmark(_compile_suite, unified_config())
+    assert all(r.schedule.validate(r.ddg) == [] for r in results)
+
+
+def test_compile_throughput_l0(benchmark):
+    results = benchmark(_compile_suite, l0_config(8))
+    assert all(r.schedule.validate(r.ddg) == [] for r in results)

@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures (or an
+ablation the evaluation text describes) on a reduced but representative
+setup: a subset of the 13 programs and a lower simulation cap, so the
+full `pytest benchmarks/ --benchmark-only` run stays in the minutes
+range.  `python -m repro.eval <experiment>` reproduces the full-size
+versions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import ExperimentContext
+from repro.sim import SimOptions
+
+#: Subset spanning the behaviour classes: recurrence-dominated winners
+#: (g721dec), prefetch-pathological (jpegdec), stall-bound low-L1-hit
+#: (pegwitdec), other-stride heavy (mpeg2dec) and FP small-II (rasta).
+QUICK_BENCHMARKS = ("g721dec", "jpegdec", "pegwitdec", "mpeg2dec", "rasta")
+
+QUICK_CAP = 400
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    return ExperimentContext(
+        options=SimOptions(sim_cap=QUICK_CAP),
+        benchmarks=QUICK_BENCHMARKS,
+    )

@@ -1,0 +1,76 @@
+"""Where L0 buffers shine: a loop-carried recurrence through memory.
+
+ADPCM-style codecs (g721, gsm) update predictor state element by
+element: ``y[i+1] = f(y[i], x[i])``.  The load of ``y[i]`` sits on the
+loop's critical cycle, so its latency multiplies directly into the II.
+With the L1 latency (6 cycles) the recurrence binds the II near 11;
+with a 1-cycle L0 buffer it drops to 6 — the same ~45% the paper's
+g721/gsm bars show before the scalar-code residue.
+
+Run:  python examples/adpcm_recurrence.py
+"""
+
+from repro.ir import LoopBuilder, build_ddg
+from repro.isa import MemoryLayout
+from repro.machine import l0_config, unified_config
+from repro.scheduler import compile_loop, rec_mii
+from repro.sim import make_memory, run_loop
+
+
+def build_predictor():
+    b = LoopBuilder("adpcm_pred", trip_count=2400)
+    state = b.array("state", 1024, 2)
+    samples = b.array("samples", 1024, 2)
+    alpha = b.live_in("alpha")
+    prev = b.load(state, stride=1, offset=0, tag="ld_prev")
+    x = b.load(samples, stride=1, tag="ld_x")
+    pred = b.imul(prev, alpha, tag="predict")
+    err = b.iadd(pred, x, tag="err")
+    clipped = b.imax(err, alpha, tag="clip")
+    b.store(state, clipped, stride=1, offset=1, tag="st_next")
+    return b.build()
+
+
+def main() -> None:
+    loop = build_predictor()
+    ddg = build_ddg(loop, unified_config())
+    print("recurrence bound (RecMII):")
+    print(f"  with L1 latency (6): {rec_mii(ddg, lambda uid: 6)}")
+    print(f"  with L0 latency (1): {rec_mii(ddg, lambda uid: 1)}")
+    print()
+
+    results = {}
+    for config, label in ((unified_config(), "baseline"), (l0_config(8), "L0")):
+        compiled = compile_loop(build_predictor(), config)
+        memory = make_memory(config)
+        result, _ = run_loop(
+            compiled, memory, MemoryLayout(align=config.l1_block), invocations=3
+        )
+        results[label] = result.total_cycles
+        print(f"{label:8s}: II={compiled.ii}  unroll={compiled.unroll_factor}  "
+              f"total={result.total_cycles} cycles "
+              f"(stall {result.stall_cycles})")
+        if label == "L0":
+            ld_prev = next(
+                op
+                for op in compiled.schedule.placed.values()
+                if op.instr.tag.startswith("ld_prev")
+            )
+            st = next(
+                op
+                for op in compiled.schedule.placed.values()
+                if op.instr.is_store
+            )
+            print(f"  coherence: ld_prev in cluster {ld_prev.cluster}, "
+                  f"store in cluster {st.cluster} "
+                  f"(the 1C scheme keeps the dependent set together)")
+            print(f"  store hint: {st.hints.access.name} "
+                  f"(updates the local L0 copy in parallel with L1)")
+            assert memory.stats.coherence_violations == 0
+
+    speedup = results["baseline"] / results["L0"]
+    print(f"\nspeedup from L0 buffers: {speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Figure-7 in miniature: one benchmark across all four architectures.
+
+Runs a synthetic Mediabench program on the unified-L1 baseline, the
+proposed L0-buffer architecture, MultiVLIW (snoop-coherent distributed
+L1) and the word-interleaved distributed L1 (both scheduling
+heuristics), and prints normalized execution times.
+
+Run:  python examples/compare_architectures.py [benchmark]
+"""
+
+import sys
+
+from repro.machine import (
+    interleaved_config,
+    l0_config,
+    multivliw_config,
+    unified_config,
+)
+from repro.sim import SimOptions, run_program
+from repro.workloads import BENCHMARK_NAMES, build
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "gsmenc"
+    if name not in BENCHMARK_NAMES:
+        raise SystemExit(f"unknown benchmark {name!r}; one of {BENCHMARK_NAMES}")
+    options = SimOptions(sim_cap=800)
+
+    runs = [
+        ("unified L1 (baseline)", unified_config(), {}),
+        ("8-entry L0 buffers", l0_config(8), {}),
+        ("MultiVLIW", multivliw_config(), {}),
+        ("word-interleaved (H1)", interleaved_config(), {"interleaved_heuristic": 1}),
+        ("word-interleaved (H2)", interleaved_config(), {"interleaved_heuristic": 2}),
+    ]
+
+    bench = build(name)
+    print(f"benchmark: {name} — {bench.description}\n")
+    baseline_cycles = None
+    for label, config, compile_kwargs in runs:
+        opts = SimOptions(sim_cap=options.sim_cap, compile_kwargs=compile_kwargs)
+        result = run_program(build(name), config, options=opts)
+        if baseline_cycles is None:
+            baseline_cycles = result.total_cycles
+        ratio = result.total_cycles / baseline_cycles
+        stall = result.stall_cycles / baseline_cycles
+        print(f"{label:24s} {result.total_cycles:>10} cycles   "
+              f"normalized {ratio:5.3f}  (stall {stall:5.3f})")
+
+
+if __name__ == "__main__":
+    main()

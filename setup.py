@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical metadata lives in pyproject.toml.  This file exists so the
+package can be installed in environments without the `wheel` package or
+network access (legacy ``python setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""Experiment harness: one entry per table/figure of the paper."""
+
+from .experiments import (
+    AMEAN,
+    ExperimentContext,
+    NormalizedTime,
+    ablation_all_candidates,
+    ablation_prefetch_distance,
+    fig5,
+    fig6,
+    fig7,
+    table1,
+    table2,
+)
+from .report import (
+    render_ablation,
+    render_fig5,
+    render_fig6,
+    render_fig7,
+    render_table1,
+    render_table2,
+)
+
+__all__ = [
+    "AMEAN",
+    "ExperimentContext",
+    "NormalizedTime",
+    "ablation_all_candidates",
+    "ablation_prefetch_distance",
+    "fig5",
+    "fig6",
+    "fig7",
+    "render_ablation",
+    "render_fig5",
+    "render_fig6",
+    "render_fig7",
+    "render_table1",
+    "render_table2",
+    "table1",
+    "table2",
+]

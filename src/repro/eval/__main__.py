@@ -1,0 +1,100 @@
+"""CLI: regenerate any table or figure of the paper.
+
+Examples::
+
+    python -m repro.eval table1
+    python -m repro.eval fig5
+    python -m repro.eval fig5 --benchmarks g721dec jpegdec
+    python -m repro.eval all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from ..sim.runner import SimOptions
+from . import (
+    ExperimentContext,
+    ablation_all_candidates,
+    ablation_prefetch_distance,
+    fig5,
+    fig6,
+    fig7,
+    render_ablation,
+    render_fig5,
+    render_fig6,
+    render_fig7,
+    render_table1,
+    render_table2,
+    table1,
+    table2,
+)
+
+EXPERIMENTS = ("table1", "table2", "fig5", "fig6", "fig7", "ablations", "all")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiment", choices=EXPERIMENTS)
+    parser.add_argument(
+        "--benchmarks",
+        nargs="*",
+        default=None,
+        help="restrict to a subset of the 13 benchmarks",
+    )
+    parser.add_argument(
+        "--sim-cap",
+        type=int,
+        default=1500,
+        help="max kernel iterations simulated per loop invocation",
+    )
+    args = parser.parse_args(argv)
+
+    ctx = ExperimentContext(
+        options=SimOptions(sim_cap=args.sim_cap),
+        benchmarks=tuple(args.benchmarks) if args.benchmarks else None,
+    )
+
+    started = time.time()
+    todo = EXPERIMENTS[:-1] if args.experiment == "all" else (args.experiment,)
+    for experiment in todo:
+        if experiment == "table1":
+            print(render_table1(table1(ctx)))
+        elif experiment == "table2":
+            print(render_table2(table2()))
+        elif experiment == "fig5":
+            print(render_fig5(fig5(ctx)))
+        elif experiment == "fig6":
+            print(render_fig6(fig6(ctx)))
+        elif experiment == "fig7":
+            print(render_fig7(fig7(ctx)))
+        elif experiment == "ablations":
+            print(
+                render_ablation(
+                    ablation_all_candidates(ctx),
+                    "Ablation: selective vs all-candidates L0 marking (4-entry)",
+                    "selective",
+                    "all_candidates",
+                )
+            )
+            print()
+            print(
+                render_ablation(
+                    ablation_prefetch_distance(ctx),
+                    "Ablation: prefetch distance 1 vs 2 (epicdec, rasta)",
+                    "distance_1",
+                    "distance_2",
+                )
+            )
+        print()
+    print(f"[{time.time() - started:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

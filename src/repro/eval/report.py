@@ -1,0 +1,107 @@
+"""Text rendering of experiment results in the paper's row/series shape."""
+
+from __future__ import annotations
+
+from .experiments import NormalizedTime
+
+
+def _rule(width: int = 78) -> str:
+    return "-" * width
+
+
+def render_table1(rows: list[dict]) -> str:
+    lines = [
+        "Table 1: benchmark stride statistics (measured vs paper)",
+        _rule(),
+        f"{'benchmark':<12} {'S%':>6} {'SG%':>6} {'SO%':>6}   "
+        f"{'paper S':>8} {'paper SG':>9} {'paper SO':>9}",
+        _rule(),
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['benchmark']:<12} {row['S']:>6.0f} {row['SG']:>6.0f} "
+            f"{row['SO']:>6.0f}   {row['paper_S']:>8} {row['paper_SG']:>9} "
+            f"{row['paper_SO']:>9}"
+        )
+    return "\n".join(lines)
+
+
+def render_table2(rows: list[tuple[str, str]]) -> str:
+    lines = ["Table 2: configuration parameters", _rule()]
+    for name, value in rows:
+        lines.append(f"{name:<24} {value}")
+    return "\n".join(lines)
+
+
+def render_fig5(series: dict[str, list[NormalizedTime]]) -> str:
+    lines = [
+        "Figure 5: normalized execution time vs L0 buffer size",
+        "(1.00 = clustered VLIW with unified L1, no L0 buffers; "
+        "stall column included in total)",
+        _rule(),
+    ]
+    labels = list(series)
+    header = f"{'benchmark':<12}" + "".join(
+        f" {label:>20}" for label in labels
+    )
+    lines.append(header)
+    lines.append(f"{'':<12}" + " ".join(
+        f"{'total (stall)':>20}" for _ in labels
+    ))
+    lines.append(_rule())
+    benchmarks = [row.benchmark for row in series[labels[0]]]
+    for idx, bench in enumerate(benchmarks):
+        cells = []
+        for label in labels:
+            row = series[label][idx]
+            cells.append(f"{row.total:>12.3f} ({row.stall:.3f})")
+        lines.append(f"{bench:<12}" + " ".join(f"{c:>20}" for c in cells))
+    return "\n".join(lines)
+
+
+def render_fig6(rows: list[dict]) -> str:
+    lines = [
+        "Figure 6: subblock mapping mix, L0 hit rate, average unroll factor",
+        _rule(),
+        f"{'benchmark':<12} {'linear':>8} {'interleaved':>12} "
+        f"{'L0 hit rate':>12} {'avg unroll':>11}",
+        _rule(),
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['benchmark']:<12} {row['linear_ratio']:>8.2f} "
+            f"{row['interleaved_ratio']:>12.2f} {row['l0_hit_rate']:>12.3f} "
+            f"{row['avg_unroll']:>11.1f}"
+        )
+    return "\n".join(lines)
+
+
+def render_fig7(series: dict[str, list[NormalizedTime]]) -> str:
+    lines = [
+        "Figure 7: L0 buffers vs MultiVLIW vs word-interleaved cache",
+        "(normalized to unified L1 without L0 buffers)",
+        _rule(),
+    ]
+    labels = list(series)
+    lines.append(
+        f"{'benchmark':<12}" + "".join(f" {label:>20}" for label in labels)
+    )
+    lines.append(_rule())
+    benchmarks = [row.benchmark for row in series[labels[0]]]
+    for idx, bench in enumerate(benchmarks):
+        cells = []
+        for label in labels:
+            row = series[label][idx]
+            cells.append(f"{row.total:>12.3f} ({row.stall:.3f})")
+        lines.append(f"{bench:<12}" + " ".join(f"{c:>20}" for c in cells))
+    return "\n".join(lines)
+
+
+def render_ablation(rows: list[dict], title: str, a: str, b: str) -> str:
+    lines = [title, _rule(), f"{'benchmark':<12} {a:>16} {b:>16} {'ratio':>8}", _rule()]
+    for row in rows:
+        lines.append(
+            f"{row['benchmark']:<12} {row[a]:>16.0f} {row[b]:>16.0f} "
+            f"{row['ratio']:>8.3f}"
+        )
+    return "\n".join(lines)

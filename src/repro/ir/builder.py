@@ -1,0 +1,260 @@
+"""A small DSL for constructing loop bodies.
+
+Workloads and tests build loops through this builder rather than writing
+:class:`Instruction` lists by hand.  Example::
+
+    b = LoopBuilder("saxpy", trip_count=1024)
+    x = b.array("x", n_elems=4096, elem_size=4)
+    y = b.array("y", n_elems=4096, elem_size=4)
+    a = b.live_in("a")
+    vx = b.load(x, stride=1, tag="ld_x")
+    vy = b.load(y, stride=1, tag="ld_y")
+    prod = b.fmul(a, vx)
+    s = b.fadd(prod, vy)
+    b.store(y, s, stride=1, tag="st_y")
+    loop = b.build()
+"""
+
+from __future__ import annotations
+
+from itertools import count
+
+from ..isa.instruction import Instruction
+from ..isa.memory_access import AccessPattern, ArrayRef, PatternKind
+from ..isa.operations import Opcode
+from ..isa.registers import RegisterFactory, VReg
+from .loop import Loop
+
+
+class LoopBuilder:
+    """Accumulates instructions for one innermost loop."""
+
+    def __init__(self, name: str, trip_count: int) -> None:
+        self.name = name
+        self.trip_count = trip_count
+        self._regs = RegisterFactory()
+        self._uids = count()
+        self._body: list[Instruction] = []
+        self._arrays: dict[str, ArrayRef] = {}
+        self._alias_groups: list[frozenset[str]] = []
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+
+    def array(self, name: str, n_elems: int, elem_size: int = 4) -> ArrayRef:
+        """Declare (or fetch) an array referenced by this loop."""
+        if name in self._arrays:
+            existing = self._arrays[name]
+            if (existing.n_elems, existing.elem_size) != (n_elems, elem_size):
+                raise ValueError(f"array {name!r} redeclared with different shape")
+            return existing
+        ref = ArrayRef(name, n_elems, elem_size)
+        self._arrays[name] = ref
+        return ref
+
+    def live_in(self, name: str = "") -> VReg:
+        """A register defined outside the loop (a loop invariant)."""
+        return self._regs.new(name or "inv")
+
+    def alias(self, *arrays: ArrayRef) -> None:
+        """Assert that the compiler cannot disambiguate these arrays."""
+        if len(arrays) < 2:
+            raise ValueError("alias groups need at least two arrays")
+        self._alias_groups.append(frozenset(a.name for a in arrays))
+
+    # ------------------------------------------------------------------
+    # Generic emission
+    # ------------------------------------------------------------------
+
+    def emit(
+        self,
+        opcode: Opcode,
+        *srcs: VReg,
+        pattern: AccessPattern | None = None,
+        tag: str = "",
+        produces: bool = True,
+    ) -> VReg | None:
+        dest = self._regs.new(tag or opcode.mnemonic) if produces else None
+        instr = Instruction(
+            uid=next(self._uids),
+            opcode=opcode,
+            dest=dest,
+            srcs=tuple(srcs),
+            pattern=pattern,
+            tag=tag,
+        )
+        self._body.append(instr)
+        return dest
+
+    # ------------------------------------------------------------------
+    # Memory operations
+    # ------------------------------------------------------------------
+
+    def load(
+        self,
+        array: ArrayRef,
+        stride: int = 1,
+        offset: int = 0,
+        *,
+        random: bool = False,
+        seed: int = 0,
+        addr_src: VReg | None = None,
+        tag: str = "",
+    ) -> VReg:
+        """Emit a load described by a strided or random access pattern.
+
+        ``addr_src`` optionally names a register the address computation
+        depends on (creates a flow dependence into the load).
+        """
+        pattern = AccessPattern(
+            array=array,
+            kind=PatternKind.RANDOM if random else PatternKind.STRIDED,
+            stride=stride,
+            offset=offset,
+            seed=seed,
+        )
+        srcs = (addr_src,) if addr_src is not None else ()
+        result = self.emit(Opcode.LOAD, *srcs, pattern=pattern, tag=tag or "ld")
+        assert result is not None
+        return result
+
+    def store(
+        self,
+        array: ArrayRef,
+        value: VReg,
+        stride: int = 1,
+        offset: int = 0,
+        *,
+        random: bool = False,
+        seed: int = 0,
+        addr_src: VReg | None = None,
+        tag: str = "",
+    ) -> None:
+        pattern = AccessPattern(
+            array=array,
+            kind=PatternKind.RANDOM if random else PatternKind.STRIDED,
+            stride=stride,
+            offset=offset,
+            seed=seed,
+        )
+        srcs = (value,) if addr_src is None else (value, addr_src)
+        self.emit(Opcode.STORE, *srcs, pattern=pattern, tag=tag or "st", produces=False)
+
+    # ------------------------------------------------------------------
+    # Arithmetic helpers (one per opcode, all returning the dest register)
+    # ------------------------------------------------------------------
+
+    def _binary(self, opcode: Opcode, a: VReg, b: VReg, tag: str) -> VReg:
+        result = self.emit(opcode, a, b, tag=tag)
+        assert result is not None
+        return result
+
+    def iadd(self, a: VReg, b: VReg, tag: str = "iadd") -> VReg:
+        return self._binary(Opcode.IADD, a, b, tag)
+
+    def isub(self, a: VReg, b: VReg, tag: str = "isub") -> VReg:
+        return self._binary(Opcode.ISUB, a, b, tag)
+
+    def imul(self, a: VReg, b: VReg, tag: str = "imul") -> VReg:
+        return self._binary(Opcode.IMUL, a, b, tag)
+
+    def idiv(self, a: VReg, b: VReg, tag: str = "idiv") -> VReg:
+        return self._binary(Opcode.IDIV, a, b, tag)
+
+    def iand(self, a: VReg, b: VReg, tag: str = "iand") -> VReg:
+        return self._binary(Opcode.IAND, a, b, tag)
+
+    def ior(self, a: VReg, b: VReg, tag: str = "ior") -> VReg:
+        return self._binary(Opcode.IOR, a, b, tag)
+
+    def ixor(self, a: VReg, b: VReg, tag: str = "ixor") -> VReg:
+        return self._binary(Opcode.IXOR, a, b, tag)
+
+    def ishl(self, a: VReg, b: VReg, tag: str = "ishl") -> VReg:
+        return self._binary(Opcode.ISHL, a, b, tag)
+
+    def ishr(self, a: VReg, b: VReg, tag: str = "ishr") -> VReg:
+        return self._binary(Opcode.ISHR, a, b, tag)
+
+    def icmp(self, a: VReg, b: VReg, tag: str = "icmp") -> VReg:
+        return self._binary(Opcode.ICMP, a, b, tag)
+
+    def imin(self, a: VReg, b: VReg, tag: str = "imin") -> VReg:
+        return self._binary(Opcode.IMIN, a, b, tag)
+
+    def imax(self, a: VReg, b: VReg, tag: str = "imax") -> VReg:
+        return self._binary(Opcode.IMAX, a, b, tag)
+
+    def isat(self, a: VReg, b: VReg, tag: str = "isat") -> VReg:
+        return self._binary(Opcode.ISAT, a, b, tag)
+
+    def imov(self, a: VReg, tag: str = "imov") -> VReg:
+        result = self.emit(Opcode.IMOV, a, tag=tag)
+        assert result is not None
+        return result
+
+    def iabs(self, a: VReg, tag: str = "iabs") -> VReg:
+        result = self.emit(Opcode.IABS, a, tag=tag)
+        assert result is not None
+        return result
+
+    def iselect(self, cond: VReg, a: VReg, b: VReg, tag: str = "isel") -> VReg:
+        result = self.emit(Opcode.ISELECT, cond, a, b, tag=tag)
+        assert result is not None
+        return result
+
+    def fadd(self, a: VReg, b: VReg, tag: str = "fadd") -> VReg:
+        return self._binary(Opcode.FADD, a, b, tag)
+
+    def fsub(self, a: VReg, b: VReg, tag: str = "fsub") -> VReg:
+        return self._binary(Opcode.FSUB, a, b, tag)
+
+    def fmul(self, a: VReg, b: VReg, tag: str = "fmul") -> VReg:
+        return self._binary(Opcode.FMUL, a, b, tag)
+
+    def fdiv(self, a: VReg, b: VReg, tag: str = "fdiv") -> VReg:
+        return self._binary(Opcode.FDIV, a, b, tag)
+
+    def fmac(self, acc: VReg, a: VReg, b: VReg, tag: str = "fmac") -> VReg:
+        result = self.emit(Opcode.FMAC, acc, a, b, tag=tag)
+        assert result is not None
+        return result
+
+    def fcmp(self, a: VReg, b: VReg, tag: str = "fcmp") -> VReg:
+        return self._binary(Opcode.FCMP, a, b, tag)
+
+    # ------------------------------------------------------------------
+    # Accumulators (loop-carried flow dependences)
+    # ------------------------------------------------------------------
+
+    def accumulate(self, opcode: Opcode, value: VReg, tag: str = "acc") -> VReg:
+        """Emit ``acc = op(acc, value)`` with a distance-1 self dependence.
+
+        The returned register is both defined and used by the emitted
+        instruction, which the DDG turns into a recurrence.
+        """
+        dest = self._regs.new(tag)
+        instr = Instruction(
+            uid=next(self._uids),
+            opcode=opcode,
+            dest=dest,
+            srcs=(dest, value),
+            tag=tag,
+        )
+        self._body.append(instr)
+        return dest
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+
+    def build(self) -> Loop:
+        if not self._body:
+            raise ValueError(f"loop {self.name!r} has an empty body")
+        return Loop(
+            name=self.name,
+            body=list(self._body),
+            trip_count=self.trip_count,
+            alias_groups=tuple(self._alias_groups),
+        )

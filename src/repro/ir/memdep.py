@@ -1,0 +1,195 @@
+"""Compile-time memory disambiguation.
+
+Mirrors the role of the disambiguation the paper relies on (section 4.1):
+partition a loop's memory instructions into *memory-dependent sets* S_i —
+instructions that may touch the same address.  Sets with a single member,
+or with only stores, impose no coherence constraints; sets mixing loads
+and stores must be handled by one of the coherence policies (NL0 / 1C /
+PSR).
+
+Two accesses may alias when:
+
+* they reference the same array and their strided index sequences can
+  collide (equal strides whose offset difference is a stride multiple,
+  stride-0 accesses to the same element, or differing strides —
+  conservatively assumed to collide), or either is non-strided;
+* they reference different arrays the loop declares as potentially
+  overlapping (``Loop.alias_groups`` — the "conservative dependences"
+  the paper removes with code specialisation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.instruction import Instruction
+from ..isa.memory_access import AccessPattern
+from ..isa.operations import Opcode
+from .loop import Loop
+
+
+def patterns_may_alias(p1: AccessPattern, p2: AccessPattern, same_array: bool) -> bool:
+    """Whether two access patterns can ever touch the same address."""
+    if not same_array:
+        # Different arrays never overlap unless an alias group said so
+        # (handled by the caller); layout gives every array its own range.
+        return False
+    if not (p1.is_strided and p2.is_strided):
+        return True
+    if p1.stride != p2.stride:
+        # Different strides over the same array: e.g. row walk vs column
+        # walk.  Their index sets generally intersect; stay conservative.
+        return True
+    stride = p1.stride
+    if stride == 0:
+        return p1.offset == p2.offset
+    return (p1.offset - p2.offset) % abs(stride) == 0
+
+
+def _may_alias(loop: Loop, a: Instruction, b: Instruction) -> bool:
+    pa, pb = a.pattern, b.pattern
+    assert pa is not None and pb is not None
+    if pa.array.name == pb.array.name:
+        return patterns_may_alias(pa, pb, same_array=True)
+    return loop.may_alias_arrays(pa.array.name, pb.array.name)
+
+
+class _UnionFind:
+    def __init__(self, items: list[int]) -> None:
+        self._parent = {x: x for x in items}
+
+    def find(self, x: int) -> int:
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[x] != root:
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[rb] = ra
+
+
+@dataclass(frozen=True)
+class MemDepInfo:
+    """Memory-dependent sets for one loop."""
+
+    sets: tuple[frozenset[int], ...]
+    _set_of: dict[int, frozenset[int]]
+    _loads: frozenset[int]
+    _stores: frozenset[int]
+
+    def set_of(self, uid: int) -> frozenset[int]:
+        return self._set_of[uid]
+
+    def needs_coherence(self, dep_set: frozenset[int]) -> bool:
+        """True for sets mixing loads and stores (paper section 4.1)."""
+        if len(dep_set) < 2:
+            return False
+        has_load = any(uid in self._loads for uid in dep_set)
+        has_store = any(uid in self._stores for uid in dep_set)
+        return has_load and has_store
+
+    def constrained_sets(self) -> list[frozenset[int]]:
+        return [s for s in self.sets if self.needs_coherence(s)]
+
+    def in_coherence_set(self, uid: int) -> bool:
+        return self.needs_coherence(self._set_of[uid])
+
+
+def analyze(loop: Loop) -> MemDepInfo:
+    """Partition the loop's memory instructions into dependent sets."""
+    mem_ops = [
+        i for i in loop.body if i.is_memory and i.opcode in (Opcode.LOAD, Opcode.STORE)
+    ]
+    uids = [i.uid for i in mem_ops]
+    uf = _UnionFind(uids)
+    for idx, a in enumerate(mem_ops):
+        for b in mem_ops[idx + 1 :]:
+            if _may_alias(loop, a, b):
+                uf.union(a.uid, b.uid)
+    groups: dict[int, set[int]] = {}
+    for uid in uids:
+        groups.setdefault(uf.find(uid), set()).add(uid)
+    sets = tuple(frozenset(g) for g in groups.values())
+    set_of = {uid: s for s in sets for uid in s}
+    loads = frozenset(i.uid for i in mem_ops if i.is_load)
+    stores = frozenset(i.uid for i in mem_ops if i.is_store)
+    return MemDepInfo(sets=sets, _set_of=set_of, _loads=loads, _stores=stores)
+
+
+@dataclass(frozen=True)
+class OrderEdge:
+    """A memory-ordering constraint: dst issues >= latency after src + distance iterations."""
+
+    src: Instruction
+    dst: Instruction
+    distance: int
+    latency: int
+
+
+def _edge_latency(src: Instruction, dst: Instruction) -> int:
+    """RAW (store->access) and WAW need a cycle; WAR (load->store) may co-issue."""
+    return 1 if src.is_store else 0
+
+
+def _pair_edges(a: Instruction, b: Instruction) -> list[OrderEdge]:
+    """Ordering edges between an aliasing pair, ``a`` earlier in body order.
+
+    When both accesses share a compile-time stride the dependence
+    distance is exact: ``a`` (iteration i) and ``b`` (iteration i+d)
+    touch the same element iff ``off_a + i*s == off_b + (i+d)*s``, i.e.
+    ``d = (off_a - off_b) / s``.  Otherwise the compiler falls back to
+    the conservative discipline (same-iteration order plus a distance-1
+    loop-carried edge).
+    """
+    pa, pb = a.pattern, b.pattern
+    assert pa is not None and pb is not None
+    edges: list[OrderEdge] = []
+    same_stride = (
+        pa.is_strided
+        and pb.is_strided
+        and pa.array.name == pb.array.name
+        and pa.stride == pb.stride
+    )
+    if same_stride and pa.stride != 0:
+        stride = pa.stride
+        delta = pa.offset - pb.offset
+        if delta % stride:
+            return []  # disjoint element sets; no dependence at all
+        if delta == 0:
+            edges.append(OrderEdge(a, b, 0, _edge_latency(a, b)))
+        d_ab = delta // stride  # a @ iter i conflicts with b @ iter i+d_ab
+        if d_ab >= 1:
+            edges.append(OrderEdge(a, b, d_ab, _edge_latency(a, b)))
+        d_ba = -delta // stride  # b @ iter i conflicts with a @ iter i+d_ba
+        if d_ba >= 1:
+            edges.append(OrderEdge(b, a, d_ba, _edge_latency(b, a)))
+        return edges
+    if same_stride and pa.stride == 0:
+        if pa.offset != pb.offset:
+            return []
+        edges.append(OrderEdge(a, b, 0, _edge_latency(a, b)))
+        edges.append(OrderEdge(b, a, 1, _edge_latency(b, a)))
+        return edges
+    # No exact distance information: conservative ordering.
+    edges.append(OrderEdge(a, b, 0, _edge_latency(a, b)))
+    edges.append(OrderEdge(b, a, 1, _edge_latency(b, a)))
+    return edges
+
+
+def order_edges(loop: Loop, info: MemDepInfo) -> list[OrderEdge]:
+    """All memory-ordering edges the DDG must honour (pairs with >= one store)."""
+    edges: list[OrderEdge] = []
+    mem_ops = [
+        i for i in loop.body if i.is_memory and i.opcode in (Opcode.LOAD, Opcode.STORE)
+    ]
+    for idx, a in enumerate(mem_ops):
+        for b in mem_ops[idx + 1 :]:
+            if a.is_load and b.is_load:
+                continue
+            if info.set_of(a.uid) is info.set_of(b.uid) and _may_alias(loop, a, b):
+                edges.extend(_pair_edges(a, b))
+    return edges

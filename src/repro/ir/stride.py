@@ -1,0 +1,86 @@
+"""Static stride analysis and candidate classification (paper Table 1, §4.3).
+
+The paper classifies dynamic memory accesses as:
+
+* **S**  — strided (the compiler found a compile-time stride);
+* **SG** — "good" strides: 0, +1 or -1 *elements* in the original
+  (pre-unroll) loop; these map well to L0 via the mapping and prefetch
+  hints (strides of ±N after unrolling by N behave the same thanks to
+  interleaved mapping);
+* **SO** — other strides (e.g. column walks), which still qualify as L0
+  candidates but need explicit software prefetch (step 5).
+
+*Candidate* instructions — those eligible for L0 buffers — are all
+strided memory instructions.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..isa.instruction import Instruction
+from .loop import Loop
+
+
+class StrideClass(enum.Enum):
+    GOOD = "good"  # stride in {0, +1, -1} elements (pre-unroll)
+    OTHER = "other"  # any other compile-time stride
+    NONSTRIDED = "nonstrided"  # no compile-time stride (random/indirect)
+
+
+def classify(instr: Instruction, unroll_factor: int = 1) -> StrideClass:
+    """Stride class of a memory instruction.
+
+    ``unroll_factor`` is the factor already applied to the loop the
+    instruction lives in; a stride of ±factor in the unrolled body
+    corresponds to a "good" ±1 stride in the original loop.
+    """
+    pattern = instr.pattern
+    if pattern is None:
+        raise ValueError(f"{instr} is not a memory access")
+    if not pattern.is_strided:
+        return StrideClass.NONSTRIDED
+    stride = pattern.stride
+    if stride == 0 or abs(stride) == unroll_factor:
+        return StrideClass.GOOD
+    if abs(stride) == 1:
+        return StrideClass.GOOD
+    return StrideClass.OTHER
+
+
+def is_candidate(instr: Instruction) -> bool:
+    """L0 candidates are memory instructions with a compile-time stride."""
+    if not (instr.is_load or instr.is_store):
+        return False
+    assert instr.pattern is not None
+    return instr.pattern.is_strided
+
+
+def loop_candidates(loop: Loop) -> list[Instruction]:
+    return [i for i in loop.memory_ops if (i.is_load or i.is_store) and is_candidate(i)]
+
+
+def dynamic_stride_stats(loop: Loop) -> tuple[int, int, int]:
+    """(strided, good, other) memory-op counts for one loop iteration.
+
+    Counts are per iteration of the *original* loop; callers weight by
+    trip counts and invocations to get program-level Table-1 numbers.
+    """
+    strided = good = other = 0
+    factor = loop.unroll_factor
+    for instr in loop.body:
+        if not (instr.is_load or instr.is_store):
+            continue
+        cls = classify(instr, factor)
+        if cls is StrideClass.NONSTRIDED:
+            continue
+        strided += 1
+        if cls is StrideClass.GOOD:
+            good += 1
+        else:
+            other += 1
+    return strided, good, other
+
+
+def total_memory_ops(loop: Loop) -> int:
+    return sum(1 for i in loop.body if i.is_load or i.is_store)

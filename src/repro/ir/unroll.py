@@ -1,0 +1,101 @@
+"""Loop unrolling (paper section 4.3, step 1).
+
+The compiler chooses between no unrolling and unrolling by N (the number
+of clusters).  Unrolling by N lets consecutive copies of a strided load
+be assigned to consecutive clusters and their data mapped to L0 buffers
+with the *interleaved* mapping.
+
+Unrolling renames every per-copy def; a use that is loop-carried in the
+original body (its def appears at the same or a later body position)
+reads the previous copy's def — and, in copy 0, the last copy's def from
+the previous unrolled iteration.
+"""
+
+from __future__ import annotations
+
+from ..isa.instruction import Instruction
+from ..isa.registers import VReg
+from .loop import Loop
+
+
+def unroll(loop: Loop, factor: int) -> Loop:
+    """Return ``loop`` unrolled ``factor`` times (1 returns the loop itself)."""
+    if factor < 1:
+        raise ValueError("unroll factor must be >= 1")
+    if factor == 1:
+        return loop
+    if loop.unroll_factor != 1:
+        raise ValueError(f"loop {loop.name!r} is already unrolled")
+
+    position = {instr.uid: idx for idx, instr in enumerate(loop.body)}
+    defs = loop.defs
+
+    # Fresh names for every (copy, original def) pair.
+    next_rid = (
+        max(
+            [r.rid for i in loop.body for r in (i.dest, *i.srcs) if r is not None],
+            default=-1,
+        )
+        + 1
+    )
+    renamed: dict[tuple[int, VReg], VReg] = {}
+    for k in range(factor):
+        for reg in defs:
+            renamed[(k, reg)] = VReg(next_rid, f"{reg.name or reg.rid}.{k}")
+            next_rid += 1
+
+    def remap_src(src: VReg, copy: int, use_pos: int) -> VReg:
+        producer = defs.get(src)
+        if producer is None:
+            return src  # live-in
+        if position[producer.uid] < use_pos:
+            return renamed[(copy, src)]  # defined earlier in this copy
+        # Loop-carried: read the previous copy; copy 0 reads the last
+        # copy of the previous unrolled iteration.
+        return renamed[((copy - 1) % factor, src)]
+
+    new_body: list[Instruction] = []
+    uid = 0
+    for k in range(factor):
+        for pos, instr in enumerate(loop.body):
+            new_srcs = tuple(remap_src(s, k, pos) for s in instr.srcs)
+            new_dest = renamed[(k, instr.dest)] if instr.dest is not None else None
+            new_pattern = (
+                instr.pattern.unrolled_copy(k, factor)
+                if instr.pattern is not None
+                else None
+            )
+            new_body.append(
+                Instruction(
+                    uid=uid,
+                    opcode=instr.opcode,
+                    dest=new_dest,
+                    srcs=new_srcs,
+                    pattern=new_pattern,
+                    tag=f"{instr.tag}.{k}" if instr.tag else "",
+                    origin=instr.uid,
+                    copy_index=k,
+                )
+            )
+            uid += 1
+
+    new_trip = max(1, loop.trip_count // factor)
+    return Loop(
+        name=loop.name,
+        body=new_body,
+        trip_count=new_trip,
+        alias_groups=loop.alias_groups,
+        unroll_factor=factor,
+    )
+
+
+def stride_group(loop: Loop, instr: Instruction) -> list[Instruction]:
+    """All unrolled copies of ``instr``'s original instruction, by copy index.
+
+    The L0-aware scheduler uses these groups to propagate recommended
+    clusters (copy k of an unrolled strided load should land in cluster
+    ``(cluster(copy 0) + k) mod N`` so interleaved mapping lines up).
+    """
+    group = [i for i in loop.body if i.origin == instr.origin and i.is_memory]
+    group.sort(key=lambda i: i.copy_index)
+    return group

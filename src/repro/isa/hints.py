@@ -1,0 +1,119 @@
+"""L0-buffer hint encodings attached to memory instructions.
+
+The paper (section 3.2) defines three families of hints that the compiler
+attaches to memory instructions:
+
+* *access hints* — whether the instruction touches the L0 buffer of the
+  cluster it is scheduled in, and whether L0 and L1 are probed
+  sequentially or in parallel;
+* *mapping hints* — how data moves from L1 into L0 buffers (one linear
+  subblock, or a whole block element-interleaved across clusters);
+* *prefetch hints* — automatic next/previous subblock prefetch triggered
+  by touching the last/first element of a cached subblock.
+
+Only the access hints are architecturally mandatory (they govern bus
+arbitration and coherence); mapping and prefetch hints may be ignored by
+an implementation at a performance cost.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class AccessHint(enum.Enum):
+    """Whether and how a memory instruction accesses its local L0 buffer."""
+
+    #: Bypass L0 entirely; go straight to L1 and do not allocate in L0.
+    NO_ACCESS = "no_access"
+
+    #: Probe L0 first; forward to L1 on a miss (loads only).  Legal only
+    #: when the compiler guarantees the cluster's L1 bus is free on the
+    #: cycle after issue, so the miss request needs no buffering.
+    SEQ_ACCESS = "seq_access"
+
+    #: Probe L0 and L1 in parallel; the L1 reply is dropped on an L0 hit.
+    PAR_ACCESS = "par_access"
+
+
+class MapHint(enum.Enum):
+    """How a load's data is mapped from L1 into the L0 buffers."""
+
+    #: Consecutive bytes of the L1 block form one subblock, placed in the
+    #: L0 buffer of the cluster executing the load.
+    LINEAR = "linear_map"
+
+    #: The whole L1 block is split into N element-interleaved subblocks
+    #: (N = number of clusters); subblock 0 lands in the executing
+    #: cluster, the rest in consecutive clusters.  The interleaving
+    #: granularity is the access width of the instruction.
+    INTERLEAVED = "interleaved_map"
+
+
+class PrefetchHint(enum.Enum):
+    """Automatic prefetch action bound to a load that allocates in L0."""
+
+    NONE = "no_prefetch"
+
+    #: When the *last* element of a cached subblock is touched, prefetch
+    #: the next subblock (same mapping as the trigger).
+    POSITIVE = "positive"
+
+    #: When the *first* element of a cached subblock is touched, prefetch
+    #: the previous subblock.
+    NEGATIVE = "negative"
+
+
+class HintBundle:
+    """The full hint triple carried by one memory instruction.
+
+    Instances are immutable; the scheduler builds them in its hint
+    assignment pass (paper section 4.3, step 4).
+    """
+
+    __slots__ = ("access", "mapping", "prefetch", "prefetch_distance")
+
+    def __init__(
+        self,
+        access: AccessHint = AccessHint.NO_ACCESS,
+        mapping: MapHint = MapHint.LINEAR,
+        prefetch: PrefetchHint = PrefetchHint.NONE,
+        prefetch_distance: int = 1,
+    ) -> None:
+        self.access = access
+        self.mapping = mapping
+        self.prefetch = prefetch
+        #: How many subblocks ahead the automatic prefetch reaches.  The
+        #: paper evaluates distance 1 (default) and 2 (section 5.2).
+        self.prefetch_distance = prefetch_distance
+
+    @property
+    def uses_l0(self) -> bool:
+        """True when the instruction probes/allocates in its local L0."""
+        return self.access is not AccessHint.NO_ACCESS
+
+    def replace(self, **kwargs: object) -> "HintBundle":
+        """Return a copy with the given fields replaced."""
+        fields = {name: getattr(self, name) for name in self.__slots__}
+        fields.update(kwargs)
+        return HintBundle(**fields)  # type: ignore[arg-type]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HintBundle):
+            return NotImplemented
+        return all(
+            getattr(self, name) == getattr(other, name) for name in self.__slots__
+        )
+
+    def __hash__(self) -> int:
+        return hash(tuple(getattr(self, name) for name in self.__slots__))
+
+    def __repr__(self) -> str:
+        return (
+            f"HintBundle(access={self.access.name}, mapping={self.mapping.name}, "
+            f"prefetch={self.prefetch.name}, distance={self.prefetch_distance})"
+        )
+
+
+#: Hints for a memory instruction that never touches L0 (the baseline).
+BYPASS_HINTS = HintBundle()

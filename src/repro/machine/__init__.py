@@ -1,0 +1,24 @@
+"""Machine model: Table-2 configurations and issue resources."""
+
+from .config import (
+    ArchKind,
+    MachineConfig,
+    interleaved_config,
+    l0_config,
+    multivliw_config,
+    unified_config,
+)
+from .resources import BUS, BusResource, ClusterResource, ResourceModel
+
+__all__ = [
+    "ArchKind",
+    "BUS",
+    "BusResource",
+    "ClusterResource",
+    "MachineConfig",
+    "ResourceModel",
+    "interleaved_config",
+    "l0_config",
+    "multivliw_config",
+    "unified_config",
+]

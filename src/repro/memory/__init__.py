@@ -1,0 +1,32 @@
+"""Memory hierarchy models for all four evaluated architectures."""
+
+from .bus import BusStats, ClusterBus
+from .hierarchy import MemoryStats, UnifiedMemory
+from .interleaved import (
+    WORD,
+    AttractionBuffer,
+    InterleavedStats,
+    WordInterleavedMemory,
+)
+from .l0buffer import L0Buffer, L0Entry, L0Stats, MapKind
+from .l1cache import CacheStats, SetAssocCache
+from .multivliw import MSIStats, MultiVLIWMemory
+
+__all__ = [
+    "AttractionBuffer",
+    "BusStats",
+    "CacheStats",
+    "ClusterBus",
+    "InterleavedStats",
+    "L0Buffer",
+    "L0Entry",
+    "L0Stats",
+    "MSIStats",
+    "MapKind",
+    "MemoryStats",
+    "MultiVLIWMemory",
+    "SetAssocCache",
+    "UnifiedMemory",
+    "WORD",
+    "WordInterleavedMemory",
+]

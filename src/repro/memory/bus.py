@@ -1,0 +1,65 @@
+"""Per-cluster buses between the clusters and the centralized L1.
+
+Each cluster owns one request path to L1 that accepts one transaction
+per cycle (demand loads, stores, L0 miss requests, prefetches).  The
+paper's SEQ_ACCESS rule exists precisely so an L0 miss can use the
+cycle-after slot without arbitration hardware; the simulator keeps a
+real occupancy set so any over-subscription (e.g. the jpegdec loop where
+every memory slot is busy and prefetches pile up) turns into delayed
+grants and, eventually, processor stalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BusStats:
+    grants: int = 0
+    delayed_grants: int = 0
+    total_delay: int = 0
+
+    def merge(self, other: "BusStats") -> None:
+        self.grants += other.grants
+        self.delayed_grants += other.delayed_grants
+        self.total_delay += other.total_delay
+
+
+class ClusterBus:
+    """One cluster's L1 bus; one transaction per cycle."""
+
+    #: Cycles of history kept before pruning (must exceed any latency).
+    PRUNE_WINDOW = 256
+
+    def __init__(self, stats: BusStats | None = None) -> None:
+        self._busy: set[int] = set()
+        self._prune_mark = 0
+        self.stats = stats if stats is not None else BusStats()
+
+    def is_free(self, cycle: int) -> bool:
+        return cycle not in self._busy
+
+    def grant(self, cycle: int) -> int:
+        """Reserve the first free cycle at or after ``cycle``."""
+        grant = cycle
+        while grant in self._busy:
+            grant += 1
+        self._busy.add(grant)
+        self.stats.grants += 1
+        if grant != cycle:
+            self.stats.delayed_grants += 1
+            self.stats.total_delay += grant - cycle
+        self._maybe_prune(cycle)
+        return grant
+
+    def _maybe_prune(self, cycle: int) -> None:
+        if cycle - self._prune_mark < 2 * self.PRUNE_WINDOW:
+            return
+        horizon = cycle - self.PRUNE_WINDOW
+        self._busy = {c for c in self._busy if c >= horizon}
+        self._prune_mark = cycle
+
+    def reset(self) -> None:
+        self._busy.clear()
+        self._prune_mark = 0

@@ -1,0 +1,278 @@
+"""The unified memory hierarchy: centralized L1 (+L2) with optional
+per-cluster L0 buffers — the paper's baseline and proposed architectures.
+
+All memory systems in this package expose the same five-method interface
+the executor drives:
+
+* ``load(cluster, addr, width, hints, cycle) -> ready_cycle``
+* ``store(cluster, addr, width, hints, cycle, is_primary=True)``
+* ``prefetch(cluster, addr, width, cycle)`` (explicit software prefetch)
+* ``invalidate_l0(cycle)`` (inter-loop flush)
+* ``reset()``
+
+Coherence auditing: every store records a per-byte timestamp; a load
+served from an L0 entry older than the newest store to those bytes
+increments ``coherence_violations``.  The compiler's coherence schemes
+(NL0/1C/PSR + inter-loop invalidation) must keep this at zero — tests
+assert exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.hints import AccessHint, BYPASS_HINTS, HintBundle, MapHint, PrefetchHint
+from ..machine.config import MachineConfig
+from .bus import BusStats, ClusterBus
+from .l0buffer import L0Buffer, L0Entry, L0Stats, MapKind
+from .l1cache import CacheStats, SetAssocCache
+
+
+@dataclass
+class MemoryStats:
+    """Aggregated statistics across one simulation."""
+
+    l0: L0Stats = field(default_factory=L0Stats)
+    l1: CacheStats = field(default_factory=CacheStats)
+    bus: BusStats = field(default_factory=BusStats)
+    coherence_violations: int = 0
+    seq_bus_conflicts: int = 0
+    prefetch_requests: int = 0
+    explicit_prefetches: int = 0
+    dropped_prefetches: int = 0
+
+
+class UnifiedMemory:
+    """Unified L1 data cache with optional flexible L0 buffers."""
+
+    def __init__(self, config: MachineConfig, *, with_l0: bool | None = None) -> None:
+        self.config = config
+        self.stats = MemoryStats()
+        self.l1 = SetAssocCache(
+            size=config.l1_size,
+            assoc=config.l1_assoc,
+            block=config.l1_block,
+            stats=self.stats.l1,
+        )
+        if with_l0 is None:
+            with_l0 = config.arch.value == "l0"
+        self.l0: list[L0Buffer] | None = None
+        if with_l0:
+            self.l0 = [
+                L0Buffer(
+                    entries=config.l0_entries,
+                    block_bytes=config.l1_block,
+                    n_clusters=config.n_clusters,
+                    stats=self.stats.l0,
+                )
+                for _ in range(config.n_clusters)
+            ]
+        self.buses = [
+            ClusterBus(stats=self.stats.bus) for _ in range(config.n_clusters)
+        ]
+        self._last_store: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _l1_load_latency(self, addr: int) -> int:
+        hit = self.l1.load(addr)
+        latency = self.config.l1_latency
+        if not hit:
+            latency += self.config.l2_latency
+        return latency
+
+    def _record_store(self, addr: int, width: int, cycle: int) -> None:
+        for byte in range(addr, addr + width):
+            self._last_store[byte] = cycle
+
+    def _check_stale(self, entry: L0Entry, addr: int, width: int) -> None:
+        newest = max(
+            (self._last_store.get(b, -1) for b in range(addr, addr + width)),
+            default=-1,
+        )
+        if newest > entry.update_time:
+            self.stats.coherence_violations += 1
+
+    # ------------------------------------------------------------------
+    # Loads
+    # ------------------------------------------------------------------
+
+    def load(
+        self, cluster: int, addr: int, width: int, hints: HintBundle, cycle: int
+    ) -> int:
+        if self.l0 is None or not hints.uses_l0:
+            grant = self.buses[cluster].grant(cycle)
+            return grant + self._l1_load_latency(addr)
+
+        buffer = self.l0[cluster]
+        entry = buffer.access(addr, width, cycle)
+        if entry is not None:
+            self._check_stale(entry, addr, width)
+            ready = max(cycle + self.config.l0_latency, entry.ready)
+            if hints.access is AccessHint.PAR_ACCESS:
+                # Parallel L1 probe: real traffic, reply discarded.
+                grant = self.buses[cluster].grant(cycle)
+                if self.l1.probe(addr):
+                    self.l1.load(addr)
+            self._hint_prefetch(cluster, entry, addr, width, hints, cycle)
+            return ready
+
+        # L0 miss: forward to L1 — next cycle for SEQ (the compiler
+        # guaranteed that slot free), same cycle for PAR.
+        request = cycle + 1 if hints.access is AccessHint.SEQ_ACCESS else cycle
+        bus = self.buses[cluster]
+        if hints.access is AccessHint.SEQ_ACCESS and not bus.is_free(request):
+            self.stats.seq_bus_conflicts += 1
+        grant = bus.grant(request)
+        latency = self._l1_load_latency(addr)
+        if hints.mapping is MapHint.INTERLEAVED:
+            arrival = grant + latency + self.config.interleave_penalty
+            filled = self._distribute_block(cluster, addr, width, arrival, False)
+        else:
+            arrival = grant + latency
+            filled = buffer.fill_linear(addr, arrival)
+            filled.touched = True
+        self._hint_prefetch(cluster, filled, addr, width, hints, cycle)
+        return arrival
+
+    def _distribute_block(
+        self, cluster: int, addr: int, width: int, arrival: int, from_prefetch: bool
+    ) -> L0Entry:
+        """Interleaved fill: split the whole L1 block across all clusters.
+
+        The subblock holding the accessed element lands in the accessing
+        cluster; consecutive residues go to consecutive clusters.
+        Returns the local entry.
+        """
+        assert self.l0 is not None
+        n = self.config.n_clusters
+        block = addr - (addr % self.config.l1_block)
+        element = (addr - block) // width
+        local_residue = element % n
+        local_entry: L0Entry | None = None
+        for target in range(n):
+            residue = (local_residue + (target - cluster)) % n
+            entry = self.l0[target].fill_interleaved(
+                block, residue, width, arrival, from_prefetch=from_prefetch
+            )
+            if target == cluster:
+                local_entry = entry
+                if not from_prefetch:
+                    entry.touched = True
+        assert local_entry is not None
+        return local_entry
+
+    # ------------------------------------------------------------------
+    # Prefetch (hint-triggered and explicit)
+    # ------------------------------------------------------------------
+
+    def _hint_prefetch(
+        self,
+        cluster: int,
+        entry: L0Entry,
+        addr: int,
+        width: int,
+        hints: HintBundle,
+        cycle: int,
+    ) -> None:
+        if hints.prefetch is PrefetchHint.NONE or self.l0 is None:
+            return
+        forward = hints.prefetch is PrefetchHint.POSITIVE
+        if not self.l0[cluster].is_edge_element(entry, addr, width, last=forward):
+            return
+        distance = hints.prefetch_distance
+        step = distance if forward else -distance
+        buffer = self.l0[cluster]
+        if entry.kind is MapKind.LINEAR:
+            sub = buffer.subblock_bytes
+            target = entry.block_addr + entry.position * sub + step * sub
+            if target < 0 or buffer.find(target, 1) is not None:
+                return
+            # Prefetches are opportunistic: if the bus slot after the
+            # access is taken by demand traffic, the prefetch is dropped
+            # (no queueing hardware between the L0 and the bus).
+            if not self.buses[cluster].is_free(cycle + 1):
+                self.stats.dropped_prefetches += 1
+                return
+            self.stats.prefetch_requests += 1
+            grant = self.buses[cluster].grant(cycle + 1)
+            arrival = grant + self._l1_load_latency(target)
+            buffer.fill_linear(target, arrival, from_prefetch=True)
+            return
+        target_block = entry.block_addr + step * self.config.l1_block
+        if target_block < 0:
+            return
+        if (
+            buffer._find_exact(
+                MapKind.INTERLEAVED, target_block, entry.position, entry.granularity
+            )
+            is not None
+        ):
+            return
+        if not self.buses[cluster].is_free(cycle + 1):
+            self.stats.dropped_prefetches += 1
+            return
+        self.stats.prefetch_requests += 1
+        grant = self.buses[cluster].grant(cycle + 1)
+        arrival = (
+            grant + self._l1_load_latency(target_block) + self.config.interleave_penalty
+        )
+        n = self.config.n_clusters
+        for target in range(n):
+            residue = (entry.position + (target - cluster)) % n
+            self.l0[target].fill_interleaved(
+                target_block,
+                residue,
+                entry.granularity,
+                arrival,
+                from_prefetch=True,
+            )
+
+    def prefetch(self, cluster: int, addr: int, width: int, cycle: int) -> None:
+        """Explicit software prefetch: linear mapping into the local L0."""
+        if self.l0 is None:
+            return
+        buffer = self.l0[cluster]
+        if buffer.find(addr, width) is not None:
+            return
+        if not self.buses[cluster].is_free(cycle):
+            self.stats.dropped_prefetches += 1
+            return
+        self.stats.explicit_prefetches += 1
+        grant = self.buses[cluster].grant(cycle)
+        arrival = grant + self._l1_load_latency(addr)
+        buffer.fill_linear(addr, arrival, from_prefetch=True)
+
+    # ------------------------------------------------------------------
+    # Stores & invalidation
+    # ------------------------------------------------------------------
+
+    def store(
+        self,
+        cluster: int,
+        addr: int,
+        width: int,
+        hints: HintBundle,
+        cycle: int,
+        is_primary: bool = True,
+    ) -> None:
+        if self.l0 is not None and not is_primary:
+            # PSR replica: invalidate local copies only; no L1 traffic.
+            self.l0[cluster].invalidate_matching(addr, width)
+            return
+        self._record_store(addr, width, cycle)
+        if self.l0 is not None and hints.access is AccessHint.PAR_ACCESS:
+            self.l0[cluster].store_update(addr, width, cycle)
+        self.buses[cluster].grant(cycle)
+        self.l1.store(addr)
+
+    def invalidate_l0(self, cycle: int) -> None:
+        if self.l0 is None:
+            return
+        for buffer in self.l0:
+            buffer.invalidate_all()
+
+    def reset(self) -> None:
+        self.__init__(self.config, with_l0=self.l0 is not None)

@@ -1,0 +1,48 @@
+"""Cluster-aware modulo scheduling: BASE algorithm + L0-aware extension."""
+
+from .coherence import CoherenceScheme, SetState
+from .driver import CompiledLoop, choose_unroll_factor, compile_loop, estimate_compute_time
+from .engine import ClusterScheduler
+from .l0policy import L0Policy
+from .mii import compute_mii, rec_mii, res_mii
+from .mrt import ModuloReservationTable
+from .policies import InterleavedPolicy, MemoryPolicy, MultiVLIWPolicy, UnifiedPolicy
+from .regpressure import ValueLifetime, fits_register_file, max_live, value_lifetimes
+from .schedule import (
+    ModuloSchedule,
+    PlacedComm,
+    PlacedOp,
+    PlacedPrefetch,
+    SchedulingError,
+)
+from .sms import Direction, sms_order
+
+__all__ = [
+    "ClusterScheduler",
+    "CoherenceScheme",
+    "CompiledLoop",
+    "Direction",
+    "InterleavedPolicy",
+    "L0Policy",
+    "MemoryPolicy",
+    "ModuloReservationTable",
+    "ModuloSchedule",
+    "MultiVLIWPolicy",
+    "PlacedComm",
+    "PlacedOp",
+    "PlacedPrefetch",
+    "SchedulingError",
+    "SetState",
+    "UnifiedPolicy",
+    "ValueLifetime",
+    "choose_unroll_factor",
+    "fits_register_file",
+    "max_live",
+    "value_lifetimes",
+    "compile_loop",
+    "compute_mii",
+    "estimate_compute_time",
+    "rec_mii",
+    "res_mii",
+    "sms_order",
+]

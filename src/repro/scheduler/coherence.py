@@ -1,0 +1,49 @@
+"""Intra-loop coherence policies for memory-dependent sets (paper §4.1).
+
+A memory-dependent set S_i that mixes loads and stores can go stale in
+L0 buffers: a store only updates its *local* L0 and L1, never remote L0
+buffers.  The paper's three software policies:
+
+* **NL0** ("not use L0") — every member bypasses L0 and is scheduled
+  with the L1 latency; the only copy of the data lives in L1.
+* **1C** ("one cluster") — stores, and loads scheduled with the L0
+  latency, all go to one designated cluster; L1-latency loads may go
+  anywhere (L1 is always up to date).
+* **PSR** ("partial store replication") — each store is replicated in
+  all N clusters.  One *primary* instance performs the store (updates
+  its local L0 and L1); the others only invalidate matching entries in
+  their local L0.  Loads then schedule freely with either latency.
+  The paper measures that code specialisation removes the big dependent
+  sets that would favour PSR, so the production scheduler only picks
+  between NL0 and 1C; PSR stays available for the ablation bench.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class CoherenceScheme(enum.Enum):
+    NL0 = "nl0"
+    ONE_CLUSTER = "1c"
+    PSR = "psr"
+
+
+@dataclass
+class SetState:
+    """Scheduling-time state of one coherence-constrained dependent set."""
+
+    members: frozenset[int]
+    scheme: CoherenceScheme | None = None
+    cluster: int | None = None  # designated cluster under 1C
+    #: uids of member loads currently planned with the L0 latency.
+    l0_loads: set[int] = field(default_factory=set)
+
+    def decide(self, scheme: CoherenceScheme) -> None:
+        if self.scheme is None:
+            self.scheme = scheme
+
+    @property
+    def decided(self) -> bool:
+        return self.scheme is not None

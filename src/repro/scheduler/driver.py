@@ -1,0 +1,144 @@
+"""Top-level compilation driver: unroll choice + policy selection + engine.
+
+``compile_loop`` is the public entry point: it picks the unroll factor
+(1 or N, step 1 of the paper's algorithm), builds the DDG, instantiates
+the policy matching the target architecture, and runs the scheduling
+engine.  The same unrolling decision is used for every architecture so
+comparisons are not biased by unrolling (paper sections 5.1-5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir import memdep
+from ..ir.ddg import DDG, build_ddg
+from ..ir.loop import Loop
+from ..ir.unroll import unroll
+from ..machine.config import ArchKind, MachineConfig
+from .engine import ClusterScheduler
+from .l0policy import L0Policy
+from .mii import rec_mii, res_mii
+from .policies import InterleavedPolicy, MultiVLIWPolicy, UnifiedPolicy
+from .schedule import ModuloSchedule
+
+
+@dataclass
+class CompiledLoop:
+    """A loop after unrolling and scheduling for one machine config."""
+
+    loop: Loop  # the (possibly unrolled) body that was scheduled
+    schedule: ModuloSchedule
+    ddg: DDG
+    policy_name: str
+    unroll_factor: int
+
+    @property
+    def ii(self) -> int:
+        return self.schedule.ii
+
+
+def estimate_compute_time(loop: Loop, config: MachineConfig) -> float:
+    """Static per-original-iteration compute-time estimate (MII / factor).
+
+    Uses the L1 latency for every load so the estimate — and therefore
+    the unroll decision — is identical across architectures.
+    """
+    ddg = build_ddg(loop, config)
+    mii = max(
+        res_mii(loop, config),
+        rec_mii(ddg, lambda uid: config.l1_latency),
+    )
+    return mii / loop.unroll_factor
+
+
+def choose_unroll_factor(loop: Loop, config: MachineConfig) -> int:
+    """Step 1: unroll by N when that lowers the static compute time.
+
+    Ties go to unrolling for recurrence-free loops: it spreads memory
+    operations across clusters (workload balance, free memory slots for
+    prefetches), which is why the underlying BASE work recommends it.
+    Loops bound by a loop-carried recurrence gain nothing from wider
+    bodies (the recurrence scales with the factor), so ties keep them
+    rolled to avoid the extra prologue and communication.
+    """
+    n = config.n_clusters
+    base = estimate_compute_time(loop, config)
+    unrolled = unroll(loop, n)
+    wide = estimate_compute_time(unrolled, config)
+    if wide < base:
+        return n
+    if wide == base:
+        ddg = build_ddg(loop, config)
+        if rec_mii(ddg, lambda uid: config.l1_latency) == 1:
+            return n
+    return 1
+
+
+def _make_policy(
+    loop: Loop,
+    config: MachineConfig,
+    dep_info: memdep.MemDepInfo,
+    *,
+    interleaved_heuristic: int,
+    all_candidates: bool,
+    allow_psr: bool,
+    prefetch_distance: int,
+):
+    if config.arch is ArchKind.UNIFIED:
+        return UnifiedPolicy(loop, config)
+    if config.arch is ArchKind.L0:
+        return L0Policy(
+            loop,
+            config,
+            dep_info,
+            all_candidates=all_candidates,
+            allow_psr=allow_psr,
+            prefetch_distance=prefetch_distance,
+        )
+    if config.arch is ArchKind.MULTIVLIW:
+        return MultiVLIWPolicy(loop, config)
+    if config.arch is ArchKind.INTERLEAVED:
+        return InterleavedPolicy(loop, config, heuristic=interleaved_heuristic)
+    raise ValueError(f"unknown architecture {config.arch}")
+
+
+def compile_loop(
+    loop: Loop,
+    config: MachineConfig,
+    *,
+    unroll_factor: int | None = None,
+    interleaved_heuristic: int = 1,
+    all_candidates: bool = False,
+    allow_psr: bool = False,
+    prefetch_distance: int = 1,
+) -> CompiledLoop:
+    """Compile one inner loop for one machine configuration.
+
+    ``unroll_factor=None`` applies the paper's static unroll heuristic;
+    pass 1 or N to force a factor (used by tests and ablations).
+    """
+    factor = (
+        choose_unroll_factor(loop, config) if unroll_factor is None else unroll_factor
+    )
+    body = unroll(loop, factor)
+    dep_info = memdep.analyze(body)
+    ddg = build_ddg(body, config, dep_info)
+    policy = _make_policy(
+        body,
+        config,
+        dep_info,
+        interleaved_heuristic=interleaved_heuristic,
+        all_candidates=all_candidates,
+        allow_psr=allow_psr,
+        prefetch_distance=prefetch_distance,
+    )
+    engine = ClusterScheduler(ddg, config, policy)
+    schedule = engine.schedule()
+    return CompiledLoop(
+        loop=body,
+        schedule=schedule,
+        ddg=ddg,
+        policy_name=policy.name,
+        unroll_factor=factor,
+    )

@@ -1,0 +1,68 @@
+"""Minimum initiation interval: resource-bound and recurrence-bound.
+
+``MII = max(ResMII, RecMII)`` (paper section 4.2).  ResMII counts issue
+slots per FU class across all clusters; RecMII is found by searching for
+the smallest II whose dependence constraints admit a fixed point (no
+positive cycle in the constraint graph) — equivalent to the classic
+max-cycle-ratio bound but robust for arbitrary edge sets.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from ..isa.operations import FUClass
+from ..ir.ddg import DDG
+from ..ir.loop import Loop
+from ..machine.config import MachineConfig
+
+LoadLatency = Mapping[int, int] | Callable[[int], int]
+
+
+def res_mii(loop: Loop, config: MachineConfig) -> int:
+    """Resource-constrained MII over INT/MEM/FP issue slots."""
+    counts = {FUClass.INT: 0, FUClass.MEM: 0, FUClass.FP: 0}
+    for instr in loop.body:
+        if instr.fu_class in counts:
+            counts[instr.fu_class] += 1
+    bound = 1
+    per_cluster = {
+        FUClass.INT: config.int_units_per_cluster,
+        FUClass.MEM: config.mem_units_per_cluster,
+        FUClass.FP: config.fp_units_per_cluster,
+    }
+    for fu_class, used in counts.items():
+        slots = per_cluster[fu_class] * config.n_clusters
+        if used:
+            bound = max(bound, -(-used // slots))
+    return bound
+
+
+def rec_mii(ddg: DDG, load_latency: LoadLatency, upper: int | None = None) -> int:
+    """Recurrence-constrained MII (1 when the DDG has no recurrences)."""
+    if upper is None:
+        upper = 1 + sum(
+            edge.latency(load_latency) for edge in ddg.edges if edge.distance
+        )
+    if ddg.earliest_times(1, load_latency) is not None:
+        return 1
+    lo, hi = 1, max(2, upper)
+    # Feasibility is monotone in II: larger II only relaxes constraints.
+    while ddg.earliest_times(hi, load_latency) is None:
+        lo = hi
+        hi *= 2
+        if hi > 1 << 20:
+            raise ValueError("RecMII search diverged; inconsistent DDG")
+    while lo + 1 < hi:
+        mid = (lo + hi) // 2
+        if ddg.earliest_times(mid, load_latency) is None:
+            lo = mid
+        else:
+            hi = mid
+    return hi
+
+
+def compute_mii(
+    loop: Loop, ddg: DDG, config: MachineConfig, load_latency: LoadLatency
+) -> int:
+    return max(res_mii(loop, config), rec_mii(ddg, load_latency))

@@ -1,0 +1,116 @@
+"""Register-pressure estimation for modulo schedules (MaxLive).
+
+The paper (section 4.2) lists register pressure among the parameters
+that drive modulo-scheduled performance: a schedule needing more
+registers than the cluster files provide forces spills or a larger II.
+This reproduction does not insert spill code; instead it exposes a
+MaxLive estimator so experiments and tests can confirm schedules stay
+inside the Table-2 machine's per-cluster register files.
+
+A value produced by instruction *p* and consumed by instruction *c*
+with dependence distance *d* is live from ``t_p + 1`` to
+``t_c + d * II`` (inclusive of the consumer's issue).  In steady state
+the kernel repeats every II cycles, so a lifetime of length L overlaps
+``ceil(L / II)`` simultaneous instances of itself; MaxLive per cluster
+row is the sum of live instances across all values resident there.
+Cross-cluster consumers read the comm'ed copy, which charges the
+*consumer* cluster from the comm's arrival instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.ddg import DDG, DepKind
+from .schedule import ModuloSchedule
+
+
+@dataclass(frozen=True)
+class ValueLifetime:
+    producer_uid: int
+    cluster: int
+    start: int  # first cycle the value occupies a register
+    end: int  # last cycle it must be preserved
+
+    @property
+    def length(self) -> int:
+        return max(0, self.end - self.start + 1)
+
+
+def value_lifetimes(schedule: ModuloSchedule, ddg: DDG) -> list[ValueLifetime]:
+    """Lifetimes of every register value, split per resident cluster."""
+    ii = schedule.ii
+    lifetimes: list[ValueLifetime] = []
+    arrivals: dict[tuple[int, int], int] = {}
+    for comm in schedule.comms:
+        key = (comm.producer_uid, comm.dst_cluster)
+        arrival = comm.start + comm.latency
+        if key not in arrivals or arrival < arrivals[key]:
+            arrivals[key] = arrival
+
+    for uid, op in schedule.placed.items():
+        if op.instr.dest is None:
+            continue
+        produce = op.start + op.latency if op.instr.is_load else (
+            op.start + schedule.config.latency_of(op.instr.opcode)
+        )
+        # Last local use; cross-cluster uses hold the comm'ed copy.
+        last_use_by_cluster: dict[int, int] = {}
+        for edge in ddg.succs[uid]:
+            if edge.kind is not DepKind.REG:
+                continue
+            consumer = schedule.placed.get(edge.dst)
+            if consumer is None:
+                continue
+            due = consumer.start + edge.distance * ii
+            if consumer.cluster == op.cluster:
+                cluster, start = op.cluster, produce
+            else:
+                arrival = arrivals.get((uid, consumer.cluster))
+                if arrival is None:
+                    continue  # validator reports this case separately
+                cluster, start = consumer.cluster, arrival
+            key_end = last_use_by_cluster.get(cluster)
+            last_use_by_cluster[cluster] = max(due, key_end or due)
+            last_use_by_cluster.setdefault(op.cluster, produce)
+        # The producing cluster holds the value at least until the bus
+        # reads it for any comm.
+        for comm in schedule.comms:
+            if comm.producer_uid == uid:
+                prev = last_use_by_cluster.get(op.cluster, produce)
+                last_use_by_cluster[op.cluster] = max(prev, comm.start)
+        for cluster, end in last_use_by_cluster.items():
+            start = produce if cluster == op.cluster else arrivals[(uid, cluster)]
+            if end >= start:
+                lifetimes.append(ValueLifetime(uid, cluster, start, end))
+    return lifetimes
+
+
+def max_live(schedule: ModuloSchedule, ddg: DDG) -> dict[int, int]:
+    """Steady-state MaxLive per cluster.
+
+    Each lifetime contributes ``ceil(length / II)`` overlapping steady-
+    state instances on the rows it covers; the per-cluster maximum over
+    rows is the register requirement (modulo-variable-expansion view).
+    """
+    ii = schedule.ii
+    n = schedule.config.n_clusters
+    per_row = {(c, r): 0 for c in range(n) for r in range(ii)}
+    for lifetime in value_lifetimes(schedule, ddg):
+        instances, remainder = divmod(lifetime.length, ii)
+        for row in range(ii):
+            per_row[(lifetime.cluster, row)] += instances
+        start_row = lifetime.start % ii
+        for offset in range(remainder):
+            row = (start_row + offset) % ii
+            per_row[(lifetime.cluster, row)] += 1
+    result = {}
+    for cluster in range(n):
+        result[cluster] = max(per_row[(cluster, row)] for row in range(ii))
+    return result
+
+
+def fits_register_file(schedule: ModuloSchedule, ddg: DDG) -> bool:
+    """Whether every cluster's MaxLive fits the configured register cap."""
+    cap = schedule.config.max_live_per_cluster
+    return all(v <= cap for v in max_live(schedule, ddg).values())

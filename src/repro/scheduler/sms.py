@@ -1,0 +1,83 @@
+"""Swing-Modulo-Scheduling node ordering (paper section 4.3, step 2).
+
+The ordering preserves the two properties the scheduler relies on
+(Llosa et al., PACT'96):
+
+1. every node except the first of each connected component is a DDG
+   neighbour of an already-ordered node, which keeps the placement
+   window tight (at most II candidate cycles, anchored on a scheduled
+   neighbour); and
+2. critical nodes — those with the least slack at the target II, which
+   includes every node on the binding recurrence — are ordered first.
+
+Each ordered node carries the direction the placer should sweep:
+``TOP_DOWN`` (ascending from its earliest start — used when the node was
+reached through a predecessor) or ``BOTTOM_UP`` (descending from its
+latest start — reached through a successor).  Nodes with ordered
+neighbours on both sides default to top-down; the window is bounded on
+both sides regardless.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Mapping
+
+from ..ir.ddg import DDG
+
+LoadLatency = Mapping[int, int] | Callable[[int], int]
+
+
+class Direction(enum.Enum):
+    TOP_DOWN = "top_down"
+    BOTTOM_UP = "bottom_up"
+
+
+def sms_order(
+    ddg: DDG, ii: int, load_latency: LoadLatency
+) -> list[tuple[int, Direction]]:
+    """Order DDG nodes for placement at initiation interval ``ii``.
+
+    Falls back to slack ordering at a feasible II if ``ii`` is below
+    RecMII (the caller will fail placement and retry anyway, but the
+    order must still be well defined).
+    """
+    slack = ddg.slack(ii, load_latency)
+    probe_ii = ii
+    while slack is None:
+        probe_ii *= 2
+        if probe_ii > 1 << 20:
+            raise ValueError("cannot find a feasible II for ordering")
+        slack = ddg.slack(probe_ii, load_latency)
+    asap = ddg.earliest_times(probe_ii, load_latency)
+    assert asap is not None
+
+    def priority(uid: int) -> tuple[int, int, int]:
+        return (slack[uid], asap[uid], uid)
+
+    ordered: list[tuple[int, Direction]] = []
+    placed: set[int] = set()
+    remaining = set(ddg.nodes)
+
+    while remaining:
+        # Frontier: unordered nodes adjacent to an ordered node.
+        frontier: dict[int, Direction] = {}
+        for uid in placed:
+            for edge in ddg.succs[uid]:
+                if edge.dst in remaining and edge.dst not in frontier:
+                    frontier[edge.dst] = Direction.TOP_DOWN
+            for edge in ddg.preds[uid]:
+                if edge.src in remaining:
+                    # Reached through a successor: place bottom-up unless
+                    # it also has an ordered predecessor.
+                    if edge.src not in frontier:
+                        frontier[edge.src] = Direction.BOTTOM_UP
+        if not frontier:
+            seed = min(remaining, key=priority)
+            frontier = {seed: Direction.TOP_DOWN}
+        uid = min(frontier, key=priority)
+        ordered.append((uid, frontier[uid]))
+        placed.add(uid)
+        remaining.discard(uid)
+
+    return ordered

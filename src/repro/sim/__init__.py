@@ -1,0 +1,21 @@
+"""Cycle-level simulation: lock-step executor and program runners."""
+
+from .executor import LoopExecutor
+from .interloop import flush_needed, flush_needed_since, loops_may_conflict
+from .runner import INVALIDATE_OVERHEAD, SimOptions, make_memory, run_loop, run_program
+from .stats import LoopResult, LoopRunResult, ProgramResult
+
+__all__ = [
+    "INVALIDATE_OVERHEAD",
+    "LoopExecutor",
+    "LoopResult",
+    "LoopRunResult",
+    "ProgramResult",
+    "SimOptions",
+    "flush_needed",
+    "flush_needed_since",
+    "loops_may_conflict",
+    "make_memory",
+    "run_loop",
+    "run_program",
+]

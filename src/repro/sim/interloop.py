@@ -1,0 +1,75 @@
+"""Selective inter-loop flushing (paper section 4.1, final paragraph).
+
+The default inter-loop coherence policy invalidates every L0 buffer
+when a loop exits.  The paper notes the flush can be skipped when
+either (i) there are no memory dependences between the loop and the
+code that follows (up to the next flush point), or (ii) the dependent
+instructions that follow bypass L0 or share the loop's clusters.  This
+module implements the *analysis* for case (i) at loop granularity —
+consecutive loops with provably disjoint address footprints keep their
+buffers warm — and the runner exposes it behind
+``SimOptions(selective_flush=True)``.
+"""
+
+from __future__ import annotations
+
+from ..ir.loop import Loop
+from ..ir.memdep import patterns_may_alias
+
+
+def loops_may_conflict(prev: Loop, nxt: Loop) -> bool:
+    """Whether data written by ``prev`` may be read/written stale by ``nxt``.
+
+    A flush between the two loops is unnecessary when nothing ``nxt``
+    reads through L0 can have been modified by ``prev``: the only
+    hazard of a stale buffer is a *load* hitting an entry that a store
+    outside its cluster updated.  Conservatively, any store in ``prev``
+    aliasing any memory access in ``nxt`` forces a flush, as does any
+    store in ``nxt`` aliasing a ``prev`` load (the entry cached by
+    ``prev``'s iteration could mask the new store's value for loads
+    later in ``nxt``).
+    """
+    prev_stores = [i for i in prev.body if i.is_store]
+    prev_loads = [i for i in prev.body if i.is_load]
+    for nxt_instr in nxt.body:
+        if not (nxt_instr.is_load or nxt_instr.is_store):
+            continue
+        np = nxt_instr.pattern
+        assert np is not None
+        counterparts = prev_stores if nxt_instr.is_load else prev_stores + prev_loads
+        for prev_instr in counterparts:
+            pp = prev_instr.pattern
+            assert pp is not None
+            same = pp.array.name == np.array.name
+            if not same and not (
+                prev.may_alias_arrays(pp.array.name, np.array.name)
+                or nxt.may_alias_arrays(pp.array.name, np.array.name)
+            ):
+                continue
+            if patterns_may_alias(pp, np, same_array=same) or not same:
+                return True
+    return False
+
+
+def flush_needed(prev: Loop | None, nxt: Loop | None) -> bool:
+    """Flush policy between two consecutive loops (None = program edge).
+
+    Program entry/exit always flush (the conservative contract with the
+    surrounding scalar code, which this model does not analyse).
+    """
+    if prev is None or nxt is None:
+        return True
+    return loops_may_conflict(prev, nxt)
+
+
+def flush_needed_since(unflushed: list[Loop], nxt: Loop | None) -> bool:
+    """Flush decision against *everything* cached since the last flush.
+
+    Skipping a flush lets entries from older loops survive, so the next
+    loop must be checked against the whole unflushed set — pairwise
+    adjacency alone would let a loop-1 entry go stale across a
+    conflict-free loop 2 and be read by loop 3.
+    """
+    if nxt is None:
+        return bool(unflushed)
+    return any(loops_may_conflict(prev, nxt) for prev in unflushed)

@@ -1,0 +1,189 @@
+"""Loop- and program-level simulation drivers.
+
+``run_loop`` handles one loop's full life: compile, simulate a capped
+number of iterations, extrapolate the steady state to the declared trip
+count, and account for repeated invocations (cold first run, warm
+re-runs with the L0 buffers invalidated between them — the paper's
+inter-loop coherence flush).
+
+``run_program`` lays out a benchmark's arrays, runs each loop, and
+aggregates into a :class:`ProgramResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.memory_access import MemoryLayout
+from ..machine.config import ArchKind, MachineConfig
+from ..memory.hierarchy import UnifiedMemory
+from ..memory.interleaved import WordInterleavedMemory
+from ..memory.multivliw import MultiVLIWMemory
+from ..scheduler.driver import CompiledLoop, compile_loop
+from .executor import LoopExecutor
+from .stats import LoopResult, LoopRunResult, ProgramResult
+
+#: Cycles charged per invocation for the end-of-loop invalidate_buffer
+#: instructions (one VLIW cycle: the invalidate issues in all clusters).
+INVALIDATE_OVERHEAD = 1
+
+
+def make_memory(config: MachineConfig):
+    if config.arch in (ArchKind.UNIFIED, ArchKind.L0):
+        return UnifiedMemory(config)
+    if config.arch is ArchKind.MULTIVLIW:
+        return MultiVLIWMemory(config)
+    if config.arch is ArchKind.INTERLEAVED:
+        return WordInterleavedMemory(config)
+    raise ValueError(f"unknown architecture {config.arch}")
+
+
+@dataclass
+class SimOptions:
+    """Knobs shared by all experiments."""
+
+    sim_cap: int = 1500  # max kernel iterations simulated per invocation
+    warm_invocations: int = 1  # warm invocations simulated before scaling
+    compile_kwargs: dict = field(default_factory=dict)
+    #: Skip the end-of-loop L0 flush when the next loop provably touches
+    #: disjoint data (paper section 4.1's selective-flushing remark).
+    selective_flush: bool = False
+
+
+def _extrapolated(
+    executor: LoopExecutor, iterations: int, cap: int, clock: int
+) -> tuple[LoopRunResult, int]:
+    """Run up to ``cap`` iterations and extrapolate the steady state."""
+    simulated = min(iterations, cap)
+    result = executor.run(simulated, start_cycle=clock)
+    clock += result.total_cycles
+    if simulated == iterations:
+        return result, clock
+    # Steady-state stall rate from the second half of the simulated run
+    # (the first half absorbs cold misses).
+    history = executor.last_stall_by_iteration
+    half = simulated // 2
+    tail = history[half:]
+    rate = sum(tail) / len(tail) if tail else 0.0
+    remaining = iterations - simulated
+    total = LoopRunResult(
+        iterations=iterations,
+        compute_cycles=(iterations - 1) * executor.schedule.ii
+        + executor.schedule.span,
+        stall_cycles=result.stall_cycles + int(round(rate * remaining)),
+        late_loads=result.late_loads,
+    )
+    clock += (total.compute_cycles - result.compute_cycles) + int(
+        round(rate * remaining)
+    )
+    return total, clock
+
+
+def run_loop(
+    compiled: CompiledLoop,
+    memory,
+    layout: MemoryLayout,
+    *,
+    invocations: int = 1,
+    options: SimOptions | None = None,
+    clock: int = 0,
+    flush_between: bool = True,
+    flush_after: bool = True,
+) -> tuple[LoopResult, int]:
+    """Simulate all invocations of one compiled loop.
+
+    ``flush_between``/``flush_after`` control the inter-loop L0
+    invalidation (both True under the paper's default conservative
+    policy; the selective-flush analysis may clear them).
+    Returns the aggregated result and the advanced memory clock.
+    """
+    options = options or SimOptions()
+    executor = LoopExecutor(compiled, memory, layout)
+    trip = compiled.loop.trip_count
+    l0_arch = compiled.schedule.config.arch is ArchKind.L0
+    overhead = INVALIDATE_OVERHEAD if (l0_arch and flush_between) else 0
+
+    cold, clock = _extrapolated(executor, trip, options.sim_cap, clock)
+    compute = cold.compute_cycles + overhead
+    stall = cold.stall_cycles
+    if invocations > 1:
+        if flush_between:
+            memory.invalidate_l0(clock)
+        warm_runs = min(invocations - 1, options.warm_invocations)
+        warm_compute = warm_stall = 0
+        warm: LoopRunResult | None = None
+        for _ in range(warm_runs):
+            warm, clock = _extrapolated(executor, trip, options.sim_cap, clock)
+            if flush_between:
+                memory.invalidate_l0(clock)
+            warm_compute += warm.compute_cycles + overhead
+            warm_stall += warm.stall_cycles
+        assert warm is not None
+        remaining = invocations - 1 - warm_runs
+        compute += warm_compute + remaining * (warm.compute_cycles + overhead)
+        stall += warm_stall + remaining * warm.stall_cycles
+    if flush_after and not flush_between:
+        memory.invalidate_l0(clock)
+    elif flush_after and invocations == 1:
+        memory.invalidate_l0(clock)
+
+    result = LoopResult(
+        name=compiled.loop.name,
+        ii=compiled.schedule.ii,
+        unroll_factor=compiled.unroll_factor,
+        trip_count=trip,
+        invocations=invocations,
+        compute_cycles=compute,
+        stall_cycles=stall,
+    )
+    return result, clock
+
+
+def run_program(
+    benchmark,
+    config: MachineConfig,
+    *,
+    options: SimOptions | None = None,
+) -> ProgramResult:
+    """Compile and simulate a whole benchmark on one architecture.
+
+    ``benchmark`` is a ``repro.workloads.Benchmark``: named, weighted
+    loop specs sharing one address space.
+    """
+    options = options or SimOptions()
+    layout = MemoryLayout(align=config.l1_block)
+    for spec in benchmark.loops:
+        for array in spec.loop.arrays:
+            layout.add(array)
+    memory = make_memory(config)
+    label = config.arch.value
+    result = ProgramResult(benchmark=benchmark.name, arch=label, memory_stats=memory.stats)
+    clock = 0
+    specs = list(benchmark.loops)
+    unflushed: list = []  # loops whose L0 entries may still be resident
+    for index, spec in enumerate(specs):
+        compiled = compile_loop(spec.loop, config, **options.compile_kwargs)
+        if options.selective_flush:
+            from .interloop import flush_needed_since, loops_may_conflict
+
+            flush_between = loops_may_conflict(spec.loop, spec.loop)
+            nxt = specs[index + 1].loop if index + 1 < len(specs) else None
+            flush_after = flush_needed_since(unflushed + [spec.loop], nxt)
+        else:
+            flush_between = flush_after = True
+        loop_result, clock = run_loop(
+            compiled,
+            memory,
+            layout,
+            invocations=spec.invocations,
+            options=options,
+            clock=clock,
+            flush_between=flush_between,
+            flush_after=flush_after,
+        )
+        if flush_after or flush_between:
+            unflushed = [] if flush_after else [spec.loop]
+        else:
+            unflushed.append(spec.loop)
+        result.loops.append(loop_result)
+    return result

@@ -1,0 +1,78 @@
+"""Result records produced by the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LoopRunResult:
+    """One execution of a modulo-scheduled loop (one invocation)."""
+
+    iterations: int
+    compute_cycles: int
+    stall_cycles: int
+    late_loads: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        return self.compute_cycles + self.stall_cycles
+
+    def scaled(self, factor: float) -> "LoopRunResult":
+        return LoopRunResult(
+            iterations=int(self.iterations * factor),
+            compute_cycles=int(round(self.compute_cycles * factor)),
+            stall_cycles=int(round(self.stall_cycles * factor)),
+            late_loads=int(round(self.late_loads * factor)),
+        )
+
+
+@dataclass
+class LoopResult:
+    """A loop's full contribution to a program (all invocations)."""
+
+    name: str
+    ii: int
+    unroll_factor: int
+    trip_count: int
+    invocations: int
+    compute_cycles: int
+    stall_cycles: int
+
+    @property
+    def total_cycles(self) -> int:
+        return self.compute_cycles + self.stall_cycles
+
+
+@dataclass
+class ProgramResult:
+    """One benchmark simulated on one architecture."""
+
+    benchmark: str
+    arch: str
+    loops: list[LoopResult] = field(default_factory=list)
+    #: architecture-specific memory statistics object (MemoryStats /
+    #: InterleavedStats / MSIStats)
+    memory_stats: object | None = None
+
+    @property
+    def compute_cycles(self) -> int:
+        return sum(l.compute_cycles for l in self.loops)
+
+    @property
+    def stall_cycles(self) -> int:
+        return sum(l.stall_cycles for l in self.loops)
+
+    @property
+    def total_cycles(self) -> int:
+        return self.compute_cycles + self.stall_cycles
+
+    @property
+    def average_unroll_factor(self) -> float:
+        """Dynamic-cycle-weighted average unroll factor (Figure 6 header)."""
+        total = sum(l.total_cycles for l in self.loops)
+        if not total:
+            return 1.0
+        return (
+            sum(l.unroll_factor * l.total_cycles for l in self.loops) / total
+        )

@@ -1,0 +1,25 @@
+"""Workloads: the synthetic Mediabench suite and random loop generation."""
+
+from . import kernels
+from .generator import random_loop
+from .mediabench import (
+    BENCHMARK_BUILDERS,
+    BENCHMARK_NAMES,
+    PAPER_TABLE1,
+    Benchmark,
+    LoopSpec,
+    build,
+    suite,
+)
+
+__all__ = [
+    "BENCHMARK_BUILDERS",
+    "BENCHMARK_NAMES",
+    "Benchmark",
+    "LoopSpec",
+    "PAPER_TABLE1",
+    "build",
+    "kernels",
+    "random_loop",
+    "suite",
+]

@@ -1,0 +1,271 @@
+"""Reusable inner-loop kernel builders for the synthetic benchmark suite.
+
+Each builder produces a :class:`~repro.ir.loop.Loop` with a particular
+dependence/access shape found in media code:
+
+* ``stream_map``     — elementwise map over arrays (good ±1 strides);
+* ``feedback``       — DPCM/IIR-style loop-carried recurrence through a
+  load (these are where L0 latency shrinks the II dramatically);
+* ``reduction``      — accumulator loops (autocorrelation, dot products);
+* ``column_walk``    — "other"-stride walks (DCT columns, wavelets);
+* ``table_mix``      — streams mixed with random table lookups
+  (Huffman/crypto-style non-strided accesses);
+* ``bignum``         — word streams with a carry recurrence (PGP);
+* ``fp_filter``      — floating-point filterbank (rasta/epic).
+
+``alu_depth`` controls the ALU work per element, which sets the
+compute/memory balance (and therefore the II class) of each loop.
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import LoopBuilder
+from ..ir.loop import Loop
+from ..isa.registers import VReg
+
+
+def _int_chain(b: LoopBuilder, seed: VReg, depth: int, salt: VReg) -> VReg:
+    """A chain of ``depth`` dependent integer ops starting at ``seed``."""
+    value = seed
+    ops = (b.iadd, b.ixor, b.ishr, b.imax, b.iand, b.isub)
+    for level in range(depth):
+        value = ops[level % len(ops)](value, salt, tag=f"alu{level}")
+    return value
+
+
+def _fp_chain(b: LoopBuilder, seed: VReg, depth: int, salt: VReg) -> VReg:
+    value = seed
+    ops = (b.fmul, b.fadd, b.fsub)
+    for level in range(depth):
+        value = ops[level % len(ops)](value, salt, tag=f"falu{level}")
+    return value
+
+
+def stream_map(
+    name: str,
+    *,
+    trip: int,
+    n: int,
+    elem: int = 2,
+    taps: int = 2,
+    alu_depth: int = 4,
+    in_place: bool = False,
+    negative: bool = False,
+) -> Loop:
+    """``dst[i] = f(src[i], src[i+1], ...)`` — the bread-and-butter stream."""
+    b = LoopBuilder(name, trip_count=trip)
+    src = b.array(f"{name}_src", n, elem)
+    dst = src if in_place else b.array(f"{name}_dst", n, elem)
+    salt = b.live_in("k")
+    stride = -1 if negative else 1
+    first = b.load(src, stride=stride, offset=0, tag="ld0")
+    acc = first
+    for tap in range(1, taps):
+        value = b.load(src, stride=stride, offset=tap, tag=f"ld{tap}")
+        acc = b.iadd(acc, value, tag=f"mix{tap}")
+    result = _int_chain(b, acc, alu_depth, salt)
+    b.store(dst, result, stride=stride, tag="st")
+    return b.build()
+
+
+def multi_stream(
+    name: str,
+    *,
+    trip: int,
+    n: int,
+    elem: int = 2,
+    inputs: int = 3,
+    alu_depth: int = 4,
+) -> Loop:
+    """Elementwise combine of several distinct arrays (RGB planes, etc.).
+
+    Each input array is its own L0-resident stream, so a cluster needs
+    roughly ``2 * inputs`` live subblocks (current + prefetched) — the
+    workload that separates 4-entry from 8-entry buffers in Figure 5.
+    """
+    b = LoopBuilder(name, trip_count=trip)
+    salt = b.live_in("k")
+    acc = None
+    for idx in range(inputs):
+        src = b.array(f"{name}_in{idx}", n, elem)
+        value = b.load(src, stride=1, tag=f"ld_in{idx}")
+        acc = value if acc is None else b.iadd(acc, value, tag=f"mix{idx}")
+    assert acc is not None
+    dst = b.array(f"{name}_dst", n, elem)
+    result = _int_chain(b, acc, alu_depth, salt)
+    b.store(dst, result, stride=1, tag="st")
+    return b.build()
+
+
+def feedback(
+    name: str,
+    *,
+    trip: int,
+    n: int,
+    elem: int = 2,
+    work: int = 2,
+    extra_stream: bool = True,
+) -> Loop:
+    """Recurrence through memory: ``y[i+1] = f(y[i], x[i])`` (ADPCM/IIR).
+
+    The load of ``y[i]`` sits on the loop-carried critical cycle, so its
+    latency multiplies straight into the II — the paper's biggest win.
+    """
+    b = LoopBuilder(name, trip_count=trip)
+    state = b.array(f"{name}_state", n, elem)
+    salt = b.live_in("a")
+    prev = b.load(state, stride=1, offset=0, tag="ld_prev")
+    mixed = prev
+    if extra_stream:
+        stream = b.array(f"{name}_in", n, elem)
+        sample = b.load(stream, stride=1, tag="ld_in")
+        mixed = b.iadd(prev, sample, tag="mix")
+    value = _int_chain(b, mixed, work, salt)
+    b.store(state, value, stride=1, offset=1, tag="st_next")
+    return b.build()
+
+
+def reduction(
+    name: str,
+    *,
+    trip: int,
+    n: int,
+    elem: int = 2,
+    taps: int = 2,
+    alu_depth: int = 1,
+) -> Loop:
+    """Accumulator loop: ``acc += f(x[i] * y[i])`` (autocorrelation, dot)."""
+    from ..isa.operations import Opcode
+
+    b = LoopBuilder(name, trip_count=trip)
+    x = b.array(f"{name}_x", n, elem)
+    salt = b.live_in("k")
+    value = b.load(x, stride=1, tag="ld_x")
+    if taps > 1:
+        y = b.array(f"{name}_y", n, elem)
+        other = b.load(y, stride=1, tag="ld_y")
+        value = b.imul(value, other, tag="prod")
+    value = _int_chain(b, value, alu_depth, salt)
+    b.accumulate(Opcode.IADD, value, tag="acc")
+    return b.build()
+
+
+def column_walk(
+    name: str,
+    *,
+    trip: int,
+    n: int,
+    elem: int = 2,
+    stride: int = 8,
+    taps: int = 2,
+    alu_depth: int = 3,
+    store_stride: int | None = None,
+) -> Loop:
+    """Strided-but-not-unit walk (matrix columns, wavelet subsampling)."""
+    b = LoopBuilder(name, trip_count=trip)
+    src = b.array(f"{name}_src", n, elem)
+    dst = b.array(f"{name}_dst", n, elem)
+    salt = b.live_in("k")
+    mixed = b.load(src, stride=stride, offset=0, tag="ldc0")
+    for tap in range(1, taps):
+        value = b.load(src, stride=stride, offset=tap, tag=f"ldc{tap}")
+        mixed = b.iadd(mixed, value, tag=f"mix{tap}")
+    result = _int_chain(b, mixed, alu_depth, salt)
+    b.store(dst, result, stride=store_stride if store_stride is not None else stride,
+            tag="stc")
+    return b.build()
+
+
+def table_mix(
+    name: str,
+    *,
+    trip: int,
+    n_stream: int,
+    n_table: int,
+    elem: int = 1,
+    random_loads: int = 1,
+    alu_depth: int = 3,
+    seed: int = 7,
+) -> Loop:
+    """Stream processing with random table lookups (Huffman, S-boxes)."""
+    b = LoopBuilder(name, trip_count=trip)
+    stream = b.array(f"{name}_stream", n_stream, elem)
+    table = b.array(f"{name}_table", n_table, elem)
+    out = b.array(f"{name}_out", n_stream, elem)
+    salt = b.live_in("k")
+    acc = b.load(stream, stride=1, tag="ld_s")
+    for idx in range(random_loads):
+        entry = b.load(table, random=True, seed=seed + idx, tag=f"ld_t{idx}")
+        acc = b.ixor(acc, entry, tag=f"fold{idx}")
+    result = _int_chain(b, acc, alu_depth, salt)
+    b.store(out, result, stride=1, tag="st")
+    return b.build()
+
+
+def bignum(
+    name: str,
+    *,
+    trip: int,
+    n: int,
+    alu_depth: int = 2,
+) -> Loop:
+    """Multiword arithmetic: two word streams and a carry recurrence."""
+    from ..isa.operations import Opcode
+
+    b = LoopBuilder(name, trip_count=trip)
+    a = b.array(f"{name}_a", n, 4)
+    c = b.array(f"{name}_c", n, 4)
+    salt = b.live_in("m")
+    wa = b.load(a, stride=1, tag="ld_a")
+    wc = b.load(c, stride=1, tag="ld_c")
+    prod = b.imul(wa, salt, tag="mul")
+    summed = b.iadd(prod, wc, tag="add")
+    summed = _int_chain(b, summed, alu_depth, salt)
+    carry = b.accumulate(Opcode.IADD, summed, tag="carry")
+    b.store(c, carry, stride=1, tag="st_c")
+    return b.build()
+
+
+def fp_filter(
+    name: str,
+    *,
+    trip: int,
+    n: int,
+    taps: int = 2,
+    fp_depth: int = 3,
+    stride: int = 1,
+) -> Loop:
+    """Floating-point filter stage (rasta's filterbank, epic's wavelets)."""
+    b = LoopBuilder(name, trip_count=trip)
+    src = b.array(f"{name}_src", n, 4)
+    dst = b.array(f"{name}_dst", n, 4)
+    coef = b.live_in("c")
+    acc = b.load(src, stride=stride, offset=0, tag="ld0")
+    for tap in range(1, taps):
+        value = b.load(src, stride=stride, offset=tap, tag=f"ld{tap}")
+        scaled = b.fmul(value, coef, tag=f"scale{tap}")
+        acc = b.fadd(acc, scaled, tag=f"sum{tap}")
+    result = _fp_chain(b, acc, fp_depth, coef)
+    b.store(dst, result, stride=stride, tag="st")
+    return b.build()
+
+
+def fp_feedback(
+    name: str,
+    *,
+    trip: int,
+    n: int,
+    fp_depth: int = 1,
+) -> Loop:
+    """IIR with floating-point state (rasta's RASTA filter itself)."""
+    b = LoopBuilder(name, trip_count=trip)
+    state = b.array(f"{name}_state", n, 4)
+    stream = b.array(f"{name}_in", n, 4)
+    coef = b.live_in("c")
+    prev = b.load(state, stride=1, offset=0, tag="ld_prev")
+    sample = b.load(stream, stride=1, tag="ld_in")
+    scaled = b.fmul(prev, coef, tag="scale")
+    mixed = b.fadd(scaled, sample, tag="mix")
+    value = _fp_chain(b, mixed, fp_depth, coef)
+    b.store(state, value, stride=1, offset=1, tag="st_next")
+    return b.build()

@@ -1,0 +1,117 @@
+"""Tests for the word-interleaved and MultiVLIW distributed L1 models."""
+
+from repro.isa import BYPASS_HINTS
+from repro.machine import interleaved_config, multivliw_config
+from repro.memory import MultiVLIWMemory, WordInterleavedMemory
+
+
+class TestWordInterleaved:
+    def make(self):
+        return WordInterleavedMemory(interleaved_config())
+
+    def test_home_mapping(self):
+        mem = self.make()
+        assert mem.home_of(0x0) == 0
+        assert mem.home_of(0x4) == 1
+        assert mem.home_of(0x8) == 2
+        assert mem.home_of(0xC) == 3
+        assert mem.home_of(0x10) == 0
+
+    def test_local_access_latency(self):
+        mem = self.make()
+        cfg = interleaved_config()
+        mem.modules[0].load(0x0)  # pre-warm
+        ready = mem.load(0, 0x0, 4, BYPASS_HINTS, cycle=10)
+        assert ready == 10 + cfg.distributed_local_latency
+        assert mem.stats.local_accesses == 1
+
+    def test_remote_access_fills_attraction_buffer(self):
+        mem = self.make()
+        cfg = interleaved_config()
+        mem.modules[1].load(0x4)  # warm home module
+        ready = mem.load(0, 0x4, 4, BYPASS_HINTS, cycle=0)
+        assert ready == cfg.distributed_remote_latency
+        # Second access served by the attraction buffer at 1 cycle.
+        ready2 = mem.load(0, 0x4, 4, BYPASS_HINTS, cycle=20)
+        assert ready2 == 20 + cfg.attraction_latency
+        assert mem.stats.attraction_hits == 1
+
+    def test_attraction_buffer_lru_bounded(self):
+        mem = self.make()
+        for i in range(20):
+            mem.load(0, 0x4 + 16 * i, 4, BYPASS_HINTS, cycle=i * 10)
+        assert len(mem.attraction[0]) <= interleaved_config().attraction_entries
+
+    def test_store_invalidates_remote_attraction_copies(self):
+        mem = self.make()
+        mem.load(0, 0x4, 4, BYPASS_HINTS, cycle=0)  # cluster 0 attracts word 1
+        mem.store(2, 0x4, 4, BYPASS_HINTS, cycle=10)
+        ready = mem.load(0, 0x4, 4, BYPASS_HINTS, cycle=20)
+        assert ready > 20 + interleaved_config().attraction_latency
+
+    def test_module_miss_pays_l2(self):
+        mem = self.make()
+        cfg = interleaved_config()
+        ready = mem.load(0, 0x0, 4, BYPASS_HINTS, cycle=0)
+        assert ready == cfg.distributed_local_latency + cfg.l2_latency
+
+
+class TestMultiVLIW:
+    def make(self):
+        return MultiVLIWMemory(multivliw_config())
+
+    def test_cold_miss_goes_to_l2(self):
+        mem = self.make()
+        cfg = multivliw_config()
+        ready = mem.load(0, 0x100, 4, BYPASS_HINTS, cycle=0)
+        assert ready == cfg.distributed_local_latency + cfg.l2_latency
+        assert mem.stats.misses_to_l2 == 1
+
+    def test_local_hit_after_fill(self):
+        mem = self.make()
+        cfg = multivliw_config()
+        mem.load(0, 0x100, 4, BYPASS_HINTS, cycle=0)
+        ready = mem.load(0, 0x104, 4, BYPASS_HINTS, cycle=20)
+        assert ready == 20 + cfg.distributed_local_latency
+        assert mem.stats.local_hits == 1
+
+    def test_remote_clean_transfer(self):
+        mem = self.make()
+        cfg = multivliw_config()
+        mem.load(0, 0x100, 4, BYPASS_HINTS, cycle=0)
+        ready = mem.load(1, 0x100, 4, BYPASS_HINTS, cycle=20)
+        assert ready == 20 + cfg.distributed_remote_latency
+        assert mem.stats.remote_clean == 1
+        # Both clusters now share: local hits on both sides.
+        mem.load(0, 0x100, 4, BYPASS_HINTS, cycle=40)
+        mem.load(1, 0x100, 4, BYPASS_HINTS, cycle=40)
+        assert mem.stats.local_hits == 2
+
+    def test_store_invalidates_sharers(self):
+        mem = self.make()
+        mem.load(0, 0x100, 4, BYPASS_HINTS, cycle=0)
+        mem.load(1, 0x100, 4, BYPASS_HINTS, cycle=10)
+        mem.store(0, 0x100, 4, BYPASS_HINTS, cycle=20)
+        assert mem.stats.store_invalidations == 1
+        # Cluster 1 must re-fetch the dirty block.
+        cfg = multivliw_config()
+        ready = mem.load(1, 0x100, 4, BYPASS_HINTS, cycle=30)
+        assert ready == 30 + cfg.distributed_remote_latency + cfg.coherence_penalty
+        assert mem.stats.remote_dirty == 1
+
+    def test_store_to_owned_block_is_quiet(self):
+        mem = self.make()
+        mem.store(0, 0x100, 4, BYPASS_HINTS, cycle=0)
+        invalidations = mem.stats.store_invalidations
+        mem.store(0, 0x104, 4, BYPASS_HINTS, cycle=10)
+        assert mem.stats.store_invalidations == invalidations
+
+    def test_capacity_eviction_drops_coherence_state(self):
+        mem = self.make()
+        blocks = mem.blocks_per_module
+        for i in range(blocks + 4):
+            mem.load(0, 0x1000 + 32 * i, 4, BYPASS_HINTS, cycle=i * 20)
+        # The first block was evicted: loading it again misses to L2.
+        before = mem.stats.misses_to_l2
+        mem.load(0, 0x1000, 4, BYPASS_HINTS, cycle=10_000)
+        assert mem.stats.misses_to_l2 == before + 1

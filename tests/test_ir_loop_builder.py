@@ -1,0 +1,91 @@
+"""Tests for the loop IR and the builder DSL."""
+
+import pytest
+
+from repro.ir import LoopBuilder
+from repro.isa import Opcode
+
+from conftest import make_dpcm, make_saxpy
+
+
+class TestLoopBuilder:
+    def test_saxpy_structure(self):
+        loop = make_saxpy()
+        assert len(loop) == 5
+        assert len(loop.loads) == 2
+        assert len(loop.stores) == 1
+        assert [a.name for a in loop.arrays] == ["x", "y"]
+
+    def test_live_ins(self):
+        loop = make_saxpy()
+        names = {r.name for r in loop.live_ins}
+        assert "a" in names
+
+    def test_duplicate_array_shape_checked(self):
+        b = LoopBuilder("l", trip_count=4)
+        b.array("a", 16, 4)
+        with pytest.raises(ValueError):
+            b.array("a", 32, 4)
+        assert b.array("a", 16, 4).n_elems == 16
+
+    def test_accumulate_self_dependence(self):
+        b = LoopBuilder("acc", trip_count=4)
+        arr = b.array("x", 16, 4)
+        v = b.load(arr, stride=1)
+        acc = b.accumulate(Opcode.IADD, v)
+        loop = b.build()
+        instr = loop.defs[acc]
+        assert acc in instr.srcs  # reads its own previous value
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError):
+            LoopBuilder("empty", trip_count=4).build()
+
+    def test_bad_trip_count_rejected(self):
+        b = LoopBuilder("l", trip_count=0)
+        b.live_in("x")
+        arr = b.array("a", 4, 4)
+        b.load(arr)
+        with pytest.raises(ValueError):
+            b.build()
+
+    def test_alias_group_requires_two(self):
+        b = LoopBuilder("l", trip_count=4)
+        a = b.array("a", 4, 4)
+        with pytest.raises(ValueError):
+            b.alias(a)
+
+    def test_alias_groups_recorded(self):
+        b = LoopBuilder("l", trip_count=4)
+        a = b.array("a", 4, 4)
+        c = b.array("c", 4, 4)
+        b.alias(a, c)
+        b.load(a)
+        loop = b.build()
+        assert loop.may_alias_arrays("a", "c")
+        assert not loop.may_alias_arrays("a", "zzz")
+
+    def test_position_and_instruction_lookup(self):
+        loop = make_saxpy()
+        first = loop.body[0]
+        assert loop.position(first.uid) == 0
+        assert loop.instruction(first.uid) is first
+        with pytest.raises(KeyError):
+            loop.instruction(999)
+
+    def test_unique_defs_enforced(self):
+        from repro.isa import Instruction, VReg
+        from repro.ir.loop import Loop
+
+        reg = VReg(0, "v")
+        body = [
+            Instruction(uid=0, opcode=Opcode.IADD, dest=reg),
+            Instruction(uid=1, opcode=Opcode.IADD, dest=reg),
+        ]
+        with pytest.raises(ValueError):
+            Loop(name="bad", body=body, trip_count=4)
+
+    def test_memory_helpers(self):
+        loop = make_dpcm()
+        assert len(loop.memory_ops) == 3
+        assert {i.tag for i in loop.loads} == {"ld_prev", "ld_x"}

@@ -1,0 +1,168 @@
+"""Unit tests for the ISA layer: hints, opcodes, registers, instructions."""
+
+import pytest
+
+from repro.isa import (
+    AccessHint,
+    AccessPattern,
+    ArrayRef,
+    BYPASS_HINTS,
+    FUClass,
+    HintBundle,
+    Instruction,
+    MapHint,
+    Opcode,
+    PatternKind,
+    PrefetchHint,
+    RegisterFactory,
+    VReg,
+)
+
+
+class TestHintBundle:
+    def test_default_bundle_bypasses_l0(self):
+        assert not HintBundle().uses_l0
+        assert BYPASS_HINTS.access is AccessHint.NO_ACCESS
+
+    def test_seq_and_par_use_l0(self):
+        assert HintBundle(access=AccessHint.SEQ_ACCESS).uses_l0
+        assert HintBundle(access=AccessHint.PAR_ACCESS).uses_l0
+
+    def test_replace_returns_modified_copy(self):
+        original = HintBundle(access=AccessHint.PAR_ACCESS)
+        changed = original.replace(prefetch=PrefetchHint.POSITIVE)
+        assert changed.prefetch is PrefetchHint.POSITIVE
+        assert changed.access is AccessHint.PAR_ACCESS
+        assert original.prefetch is PrefetchHint.NONE
+
+    def test_equality_and_hash(self):
+        a = HintBundle(access=AccessHint.SEQ_ACCESS, mapping=MapHint.INTERLEAVED)
+        b = HintBundle(access=AccessHint.SEQ_ACCESS, mapping=MapHint.INTERLEAVED)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != HintBundle()
+
+    def test_prefetch_distance_participates_in_equality(self):
+        a = HintBundle(prefetch_distance=1)
+        b = HintBundle(prefetch_distance=2)
+        assert a != b
+
+
+class TestOpcodes:
+    def test_memory_classification(self):
+        assert Opcode.LOAD.is_memory and Opcode.LOAD.is_load
+        assert Opcode.STORE.is_memory and Opcode.STORE.is_store
+        assert Opcode.PREFETCH.is_memory
+        assert Opcode.INVAL_L0.is_memory
+        assert not Opcode.IADD.is_memory
+
+    def test_fu_classes(self):
+        assert Opcode.IADD.fu_class is FUClass.INT
+        assert Opcode.FMUL.fu_class is FUClass.FP
+        assert Opcode.LOAD.fu_class is FUClass.MEM
+        assert Opcode.COMM.fu_class is FUClass.BUS
+        assert Opcode.NOP.fu_class is FUClass.NONE
+
+    def test_latencies_are_positive_for_alu_ops(self):
+        for op in (Opcode.IADD, Opcode.IMUL, Opcode.FADD, Opcode.FDIV):
+            assert op.default_latency >= 1
+
+    def test_imul_slower_than_iadd(self):
+        assert Opcode.IMUL.default_latency > Opcode.IADD.default_latency
+
+
+class TestRegisters:
+    def test_factory_ids_are_unique(self):
+        factory = RegisterFactory()
+        regs = factory.batch(10)
+        assert len({r.rid for r in regs}) == 10
+
+    def test_name_does_not_affect_equality(self):
+        assert VReg(3, "a") == VReg(3, "b")
+        assert VReg(3) != VReg(4)
+
+    def test_repr_uses_name(self):
+        assert repr(VReg(1, "acc")) == "%acc"
+        assert repr(VReg(7)) == "%7"
+
+
+class TestInstruction:
+    def _pattern(self):
+        return AccessPattern(ArrayRef("a", 64, 4))
+
+    def test_load_requires_pattern(self):
+        with pytest.raises(ValueError):
+            Instruction(uid=0, opcode=Opcode.LOAD, dest=VReg(0))
+
+    def test_store_cannot_produce_value(self):
+        with pytest.raises(ValueError):
+            Instruction(
+                uid=0, opcode=Opcode.STORE, dest=VReg(0), pattern=self._pattern()
+            )
+
+    def test_origin_defaults_to_uid(self):
+        instr = Instruction(uid=5, opcode=Opcode.IADD, dest=VReg(0))
+        assert instr.origin == 5
+        assert instr.copy_index == 0
+
+    def test_access_width_comes_from_pattern(self):
+        instr = Instruction(
+            uid=0, opcode=Opcode.LOAD, dest=VReg(0), pattern=self._pattern()
+        )
+        assert instr.access_width == 4
+
+    def test_identity_equality(self):
+        a = Instruction(uid=0, opcode=Opcode.IADD, dest=VReg(0))
+        b = Instruction(uid=0, opcode=Opcode.IADD, dest=VReg(0))
+        assert a != b  # distinct schedulable units
+        assert a == a
+
+
+class TestAccessPattern:
+    def test_strided_addresses(self):
+        arr = ArrayRef("a", 100, 4)
+        p = AccessPattern(arr, stride=2, offset=1)
+        assert p.element_index(0) == 1
+        assert p.element_index(3) == 7
+
+    def test_wraparound(self):
+        arr = ArrayRef("a", 8, 2)
+        p = AccessPattern(arr, stride=1, offset=6)
+        assert p.element_index(3) == 1  # (6 + 3) mod 8
+
+    def test_negative_stride_wraps_positive(self):
+        arr = ArrayRef("a", 8, 2)
+        p = AccessPattern(arr, stride=-1, offset=0)
+        assert p.element_index(1) == 7
+
+    def test_random_is_deterministic_and_in_range(self):
+        arr = ArrayRef("t", 977, 1)
+        p = AccessPattern(arr, kind=PatternKind.RANDOM, seed=3)
+        seq1 = [p.element_index(i) for i in range(50)]
+        seq2 = [p.element_index(i) for i in range(50)]
+        assert seq1 == seq2
+        assert all(0 <= e < 977 for e in seq1)
+        assert len(set(seq1)) > 10  # actually spreads out
+
+    def test_unrolled_copy_strided(self):
+        arr = ArrayRef("a", 1024, 2)
+        p = AccessPattern(arr, stride=1, offset=0)
+        copy2 = p.unrolled_copy(2, 4)
+        assert copy2.offset == 2
+        assert copy2.stride == 4
+        # Copy k at iteration i touches what the original touched at 4i+k.
+        assert copy2.element_index(5) == p.element_index(4 * 5 + 2)
+
+    def test_unrolled_copy_random_gets_distinct_seed(self):
+        arr = ArrayRef("t", 512, 1)
+        p = AccessPattern(arr, kind=PatternKind.RANDOM, seed=1)
+        c0, c1 = p.unrolled_copy(0, 4), p.unrolled_copy(1, 4)
+        assert c0.seed != c1.seed
+
+    def test_invalid_elem_size_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayRef("a", 16, 3)
+
+    def test_empty_array_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayRef("a", 0, 4)

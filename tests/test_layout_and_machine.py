@@ -1,0 +1,124 @@
+"""Tests for MemoryLayout and the machine configuration layer."""
+
+import pytest
+
+from repro.isa import AccessPattern, ArrayRef, FUClass, MemoryLayout, Opcode
+from repro.machine import (
+    ArchKind,
+    BUS,
+    ClusterResource,
+    MachineConfig,
+    ResourceModel,
+    interleaved_config,
+    l0_config,
+    multivliw_config,
+    unified_config,
+)
+
+
+class TestMemoryLayout:
+    def test_bases_are_block_aligned(self):
+        layout = MemoryLayout(align=32)
+        for idx, n in enumerate([7, 100, 33]):
+            base = layout.add(ArrayRef(f"a{idx}", n, 2))
+            assert base % 32 == 0
+
+    def test_arrays_do_not_overlap(self):
+        layout = MemoryLayout(align=32)
+        a = ArrayRef("a", 100, 4)
+        b = ArrayRef("b", 50, 2)
+        base_a = layout.add(a)
+        base_b = layout.add(b)
+        assert base_b >= base_a + a.size_bytes
+
+    def test_add_is_idempotent(self):
+        layout = MemoryLayout()
+        a = ArrayRef("a", 10, 4)
+        assert layout.add(a) == layout.add(a)
+
+    def test_conflicting_redefinition_rejected(self):
+        layout = MemoryLayout()
+        layout.add(ArrayRef("a", 10, 4))
+        with pytest.raises(ValueError):
+            layout.add(ArrayRef("a", 20, 4))
+
+    def test_missing_array_raises(self):
+        layout = MemoryLayout()
+        with pytest.raises(KeyError):
+            layout.base_of(ArrayRef("ghost", 4, 4))
+
+    def test_pattern_address_uses_layout(self):
+        layout = MemoryLayout(align=32, start=0x2000)
+        arr = ArrayRef("a", 64, 4)
+        layout.add(arr)
+        p = AccessPattern(arr, stride=1, offset=3)
+        assert p.address(0, layout) == 0x2000 + 12
+
+    def test_non_power_of_two_alignment_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryLayout(align=24)
+
+
+class TestMachineConfig:
+    def test_table2_defaults(self):
+        cfg = l0_config(8)
+        assert cfg.n_clusters == 4
+        assert cfg.l0_latency == 1
+        assert cfg.l1_latency == 6
+        assert cfg.l1_size == 8 * 1024
+        assert cfg.l1_assoc == 2
+        assert cfg.l1_block == 32
+        assert cfg.l2_latency == 10
+        assert cfg.n_buses == 4
+        assert cfg.bus_latency == 2
+        assert cfg.subblock_bytes == 8  # 32-byte block / 4 clusters
+
+    def test_arch_factories(self):
+        assert unified_config().arch is ArchKind.UNIFIED
+        assert l0_config().arch is ArchKind.L0
+        assert multivliw_config().arch is ArchKind.MULTIVLIW
+        assert interleaved_config().arch is ArchKind.INTERLEAVED
+
+    def test_unbounded_l0(self):
+        assert l0_config(None).l0_entries is None
+
+    def test_invalid_entries_rejected(self):
+        with pytest.raises(ValueError):
+            l0_config(0)
+
+    def test_block_must_divide_into_subblocks(self):
+        with pytest.raises(ValueError):
+            MachineConfig(n_clusters=3, l1_block=32)
+
+    def test_with_l0_entries(self):
+        cfg = l0_config(8).with_l0_entries(4)
+        assert cfg.l0_entries == 4
+        assert cfg.arch is ArchKind.L0
+
+    def test_latency_lookup(self):
+        cfg = unified_config()
+        assert cfg.latency_of(Opcode.IADD) == 1
+        assert cfg.latency_of(Opcode.FDIV) == 8
+
+
+class TestResourceModel:
+    def test_capacities(self):
+        model = ResourceModel(l0_config())
+        assert model.capacity(BUS) == 4
+        assert model.capacity(ClusterResource(FUClass.INT, 0)) == 1
+        assert model.capacity(ClusterResource(FUClass.MEM, 3)) == 1
+
+    def test_total_fu_slots(self):
+        model = ResourceModel(l0_config())
+        assert model.total_fu_slots(FUClass.MEM) == 4
+
+    def test_fu_resource_validation(self):
+        model = ResourceModel(l0_config())
+        with pytest.raises(ValueError):
+            model.fu_resource(FUClass.BUS, 0)
+        with pytest.raises(ValueError):
+            model.fu_resource(FUClass.INT, 9)
+
+    def test_unknown_resource_has_zero_capacity(self):
+        model = ResourceModel(l0_config())
+        assert model.capacity("nonsense") == 0

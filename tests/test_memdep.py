@@ -1,0 +1,133 @@
+"""Tests for memory disambiguation and dependent-set analysis."""
+
+from repro.ir import LoopBuilder, analyze, order_edges
+from repro.ir.memdep import patterns_may_alias
+from repro.isa import AccessPattern, ArrayRef, PatternKind
+
+from conftest import make_dpcm, make_saxpy
+
+
+def _strided(array, stride, offset=0):
+    return AccessPattern(array, stride=stride, offset=offset)
+
+
+class TestPatternAliasing:
+    ARR = ArrayRef("a", 1024, 4)
+
+    def test_same_stride_same_offset_alias(self):
+        assert patterns_may_alias(
+            _strided(self.ARR, 1, 0), _strided(self.ARR, 1, 0), True
+        )
+
+    def test_same_stride_offset_mod_mismatch_disjoint(self):
+        # stride 4, offsets 0 and 1: element sets never intersect.
+        assert not patterns_may_alias(
+            _strided(self.ARR, 4, 0), _strided(self.ARR, 4, 1), True
+        )
+
+    def test_same_stride_offset_multiple_alias(self):
+        assert patterns_may_alias(
+            _strided(self.ARR, 4, 0), _strided(self.ARR, 4, 8), True
+        )
+
+    def test_different_strides_conservative(self):
+        assert patterns_may_alias(
+            _strided(self.ARR, 1, 0), _strided(self.ARR, 8, 3), True
+        )
+
+    def test_stride_zero_same_element(self):
+        assert patterns_may_alias(
+            _strided(self.ARR, 0, 5), _strided(self.ARR, 0, 5), True
+        )
+        assert not patterns_may_alias(
+            _strided(self.ARR, 0, 5), _strided(self.ARR, 0, 6), True
+        )
+
+    def test_random_always_aliases(self):
+        rnd = AccessPattern(self.ARR, kind=PatternKind.RANDOM)
+        assert patterns_may_alias(rnd, _strided(self.ARR, 1), True)
+
+    def test_different_arrays_never_alias_without_group(self):
+        assert not patterns_may_alias(
+            _strided(self.ARR, 1), _strided(ArrayRef("b", 64, 4), 1), False
+        )
+
+
+class TestDependentSets:
+    def test_saxpy_sets(self):
+        loop = make_saxpy()
+        info = analyze(loop)
+        # ld_x alone; ld_y and st_y form a coherence set.
+        sizes = sorted(len(s) for s in info.sets)
+        assert sizes == [1, 2]
+        assert len(info.constrained_sets()) == 1
+
+    def test_store_only_sets_unconstrained(self):
+        b = LoopBuilder("stores", trip_count=4)
+        a = b.array("a", 64, 4)
+        v = b.live_in("v")
+        b.store(a, v, stride=1, offset=0)
+        b.store(a, v, stride=1, offset=0, tag="st2")
+        loop = b.build()
+        info = analyze(loop)
+        assert not info.constrained_sets()  # no loads involved
+
+    def test_alias_group_merges_cross_array_sets(self):
+        b = LoopBuilder("aliased", trip_count=4)
+        p = b.array("p", 64, 4)
+        q = b.array("q", 64, 4)
+        b.alias(p, q)
+        v = b.load(p, stride=1)
+        b.store(q, v, stride=1)
+        loop = b.build()
+        info = analyze(loop)
+        assert len(info.constrained_sets()) == 1
+
+    def test_in_coherence_set_lookup(self):
+        loop = make_saxpy()
+        info = analyze(loop)
+        ld_y = next(i for i in loop.body if i.tag == "ld_y")
+        ld_x = next(i for i in loop.body if i.tag == "ld_x")
+        assert info.in_coherence_set(ld_y.uid)
+        assert not info.in_coherence_set(ld_x.uid)
+
+
+class TestOrderEdges:
+    def test_saxpy_no_spurious_recurrence(self):
+        """In-place update y[i] = f(y[i]) has no loop-carried memory edge."""
+        loop = make_saxpy()
+        edges = order_edges(loop, analyze(loop))
+        assert all(e.distance == 0 for e in edges)
+
+    def test_real_recurrence_distance_one(self):
+        loop = make_dpcm()  # store y[i+1], load y[i]
+        edges = order_edges(loop, analyze(loop))
+        carried = [e for e in edges if e.distance >= 1]
+        assert len(carried) == 1
+        edge = carried[0]
+        assert edge.src.is_store and edge.dst.is_load
+        assert edge.distance == 1
+        assert edge.latency == 1  # RAW
+
+    def test_war_edge_latency_zero(self):
+        loop = make_saxpy()
+        edges = order_edges(loop, analyze(loop))
+        war = [e for e in edges if e.src.is_load and e.dst.is_store]
+        assert war and all(e.latency == 0 for e in war)
+
+    def test_load_load_pairs_skipped(self):
+        b = LoopBuilder("ll", trip_count=4)
+        a = b.array("a", 64, 4)
+        b.load(a, stride=1)
+        b.load(a, stride=1)
+        loop = b.build()
+        assert order_edges(loop, analyze(loop)) == []
+
+    def test_disjoint_unrolled_copies_no_edges(self):
+        b = LoopBuilder("disjoint", trip_count=4)
+        a = b.array("a", 64, 4)
+        v = b.live_in("v")
+        b.store(a, v, stride=4, offset=0)
+        b.store(a, v, stride=4, offset=1)
+        loop = b.build()
+        assert order_edges(loop, analyze(loop)) == []

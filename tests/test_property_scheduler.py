@@ -1,0 +1,143 @@
+"""Property-based tests: scheduler invariants over random loops.
+
+These are the heavy-duty correctness checks: for *any* structurally
+valid loop, every architecture's scheduler must produce a schedule that
+satisfies all dependence and resource constraints, and running it must
+never read stale data out of an L0 buffer.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.ir import build_ddg, unroll
+from repro.isa import MemoryLayout
+from repro.machine import interleaved_config, l0_config, multivliw_config, unified_config
+from repro.scheduler import compile_loop, compute_mii, rec_mii
+from repro.sim import LoopExecutor, make_memory
+from repro.workloads import random_loop
+
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+@SLOW
+@given(seed=seeds)
+def test_base_schedule_validates(seed):
+    loop = random_loop(seed)
+    compiled = compile_loop(loop, unified_config())
+    assert compiled.schedule.validate(compiled.ddg) == []
+
+
+@SLOW
+@given(seed=seeds)
+def test_l0_schedule_validates(seed):
+    loop = random_loop(seed)
+    compiled = compile_loop(loop, l0_config(8))
+    assert compiled.schedule.validate(compiled.ddg) == []
+
+
+@SLOW
+@given(seed=seeds, entries=st.sampled_from([2, 4, 16, None]))
+def test_l0_schedule_validates_across_sizes(seed, entries):
+    loop = random_loop(seed)
+    compiled = compile_loop(loop, l0_config(entries))
+    assert compiled.schedule.validate(compiled.ddg) == []
+
+
+@SLOW
+@given(seed=seeds)
+def test_distributed_schedules_validate(seed):
+    loop = random_loop(seed)
+    for config in (multivliw_config(), interleaved_config()):
+        compiled = compile_loop(loop, config)
+        assert compiled.schedule.validate(compiled.ddg) == []
+
+
+@SLOW
+@given(seed=seeds)
+def test_ii_at_least_mii(seed):
+    loop = random_loop(seed)
+    compiled = compile_loop(loop, unified_config(), unroll_factor=1)
+    ddg = build_ddg(loop, unified_config())
+    mii = compute_mii(loop, ddg, unified_config(), lambda uid: 6)
+    assert compiled.ii >= mii
+
+
+@SLOW
+@given(seed=seeds)
+def test_l0_never_reads_stale_data(seed):
+    """The headline coherence property (paper section 4.1)."""
+    loop = random_loop(seed, trip_count=48)
+    config = l0_config(4)
+    compiled = compile_loop(loop, config)
+    memory = make_memory(config)
+    layout = MemoryLayout(align=config.l1_block)
+    executor = LoopExecutor(compiled, memory, layout)
+    executor.run(compiled.loop.trip_count)
+    memory.invalidate_l0(10_000)
+    executor.run(compiled.loop.trip_count, start_cycle=20_000)
+    assert memory.stats.coherence_violations == 0
+
+
+@SLOW
+@given(seed=seeds)
+def test_l0_capacity_respected_at_runtime(seed):
+    loop = random_loop(seed, trip_count=48)
+    config = l0_config(4)
+    compiled = compile_loop(loop, config)
+    memory = make_memory(config)
+    executor = LoopExecutor(compiled, memory, MemoryLayout(align=32))
+    executor.run(compiled.loop.trip_count)
+    for buffer in memory.l0:
+        assert len(buffer) <= 4
+
+
+@SLOW
+@given(seed=seeds)
+def test_l0_loads_marked_consistently(seed):
+    """A load scheduled with the L0 latency must carry an L0 access hint,
+    and NO_ACCESS loads must use the L1 latency."""
+    loop = random_loop(seed)
+    config = l0_config(8)
+    compiled = compile_loop(loop, config)
+    for op in compiled.schedule.placed.values():
+        if not op.instr.is_load:
+            continue
+        if op.latency == config.l0_latency:
+            assert op.hints.uses_l0
+        else:
+            assert op.latency == config.l1_latency
+            assert not op.hints.uses_l0
+
+
+@SLOW
+@given(seed=seeds)
+def test_unroll_preserves_recurrence_cost(seed):
+    """RecMII per original iteration is invariant under unrolling."""
+    loop = random_loop(seed, trip_count=64)
+    cfg = unified_config()
+    narrow = build_ddg(loop, cfg)
+    wide = build_ddg(unroll(loop, 4), cfg)
+    lat = lambda uid: 6  # noqa: E731
+    narrow_rec = rec_mii(narrow, lat)
+    wide_rec = rec_mii(wide, lat)
+    assert wide_rec <= 4 * narrow_rec
+
+
+@SLOW
+@given(seed=seeds)
+def test_stall_accounting_is_deterministic(seed):
+    loop = random_loop(seed, trip_count=32)
+    config = l0_config(8)
+    totals = set()
+    for _ in range(2):
+        compiled = compile_loop(loop, config)
+        memory = make_memory(config)
+        executor = LoopExecutor(compiled, memory, MemoryLayout(align=32))
+        result = executor.run(compiled.loop.trip_count)
+        totals.add((result.compute_cycles, result.stall_cycles))
+    assert len(totals) == 1

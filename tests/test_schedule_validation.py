@@ -1,0 +1,87 @@
+"""Negative tests: the schedule validator must catch broken schedules.
+
+Every check the property tests rely on ("validate() == []") is only as
+good as the validator; these tests corrupt valid schedules in specific
+ways and assert the right violation is reported.
+"""
+
+import copy
+
+import pytest
+
+from repro.ir import build_ddg
+from repro.machine import unified_config
+from repro.scheduler import compile_loop
+
+from conftest import make_saxpy
+
+
+@pytest.fixture
+def compiled():
+    return compile_loop(make_saxpy(), unified_config())
+
+
+def test_valid_schedule_is_clean(compiled):
+    assert compiled.schedule.validate(compiled.ddg) == []
+
+
+def test_dependence_violation_detected(compiled):
+    sched = compiled.schedule
+    # Move a consumer to cycle 0 — before its producer's result.
+    fadd = next(
+        op for op in sched.placed.values() if op.instr.opcode.mnemonic == "fadd"
+    )
+    fadd.start = 0
+    problems = sched.validate(compiled.ddg)
+    assert any("value ready" in p for p in problems)
+
+
+def test_fu_oversubscription_detected(compiled):
+    sched = compiled.schedule
+    loads = [op for op in sched.placed.values() if op.instr.is_load]
+    a, b = loads[0], loads[1]
+    b.cluster = a.cluster
+    b.start = a.start  # two memory ops, same cluster, same row
+    problems = sched.validate(compiled.ddg)
+    assert any("oversubscribed" in p for p in problems)
+
+
+def test_missing_comm_detected(compiled):
+    sched = compiled.schedule
+    # Teleport a producer into another cluster without a comm.
+    fmul = next(
+        op for op in sched.placed.values() if op.instr.opcode.mnemonic == "fmul"
+    )
+    fmul.cluster = (fmul.cluster + 1) % 4
+    problems = sched.validate(compiled.ddg)
+    assert any("no comm" in p or "oversubscribed" in p for p in problems)
+
+
+def test_comm_before_production_detected(compiled):
+    sched = compiled.schedule
+    if not sched.comms:
+        pytest.skip("schedule has no cross-cluster values")
+    comm = sched.comms[0]
+    comm.start = -100
+    problems = sched.validate(compiled.ddg)
+    assert any("before its value" in p for p in problems)
+
+
+def test_bus_oversubscription_detected(compiled):
+    sched = compiled.schedule
+    if not sched.comms:
+        pytest.skip("schedule has no cross-cluster values")
+    template = sched.comms[0]
+    for _ in range(5):  # five transfers in one row > 4 buses
+        clone = copy.copy(template)
+        sched.comms.append(clone)
+    problems = sched.validate(compiled.ddg)
+    assert any("buses oversubscribed" in p for p in problems)
+
+
+def test_unplaced_instruction_detected(compiled):
+    sched = compiled.schedule
+    uid = next(iter(sched.placed))
+    del sched.placed[uid]
+    problems = sched.validate(compiled.ddg)
+    assert any("unplaced" in p for p in problems)

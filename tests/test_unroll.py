@@ -1,0 +1,117 @@
+"""Tests for loop unrolling."""
+
+import pytest
+
+from repro.ir import LoopBuilder, build_ddg, unroll
+from repro.ir.unroll import stride_group
+from repro.isa import MemoryLayout, Opcode
+from repro.machine import unified_config
+
+from conftest import make_dpcm, make_saxpy
+
+
+class TestUnrollStructure:
+    def test_factor_one_is_identity(self, saxpy):
+        assert unroll(saxpy, 1) is saxpy
+
+    def test_body_size_and_trip(self, saxpy):
+        wide = unroll(saxpy, 4)
+        assert len(wide.body) == 4 * len(saxpy.body)
+        assert wide.trip_count == saxpy.trip_count // 4
+        assert wide.unroll_factor == 4
+
+    def test_double_unroll_rejected(self, saxpy):
+        with pytest.raises(ValueError):
+            unroll(unroll(saxpy, 2), 2)
+
+    def test_origins_and_copy_indices(self, saxpy):
+        wide = unroll(saxpy, 4)
+        for instr in wide.body:
+            assert 0 <= instr.copy_index < 4
+            assert instr.origin in {i.uid for i in saxpy.body}
+
+    def test_defs_renamed_per_copy(self, saxpy):
+        wide = unroll(saxpy, 4)
+        defs = [i.dest for i in wide.body if i.dest is not None]
+        assert len(defs) == len(set(defs))
+
+    def test_unrolled_loop_validates(self, saxpy):
+        wide = unroll(saxpy, 4)
+        build_ddg(wide, unified_config())  # raises on inconsistency
+
+
+class TestUnrollSemantics:
+    def test_access_streams_partition_original(self, saxpy):
+        """The union of unrolled copies' addresses equals the original's."""
+        layout = MemoryLayout()
+        for arr in saxpy.arrays:
+            layout.add(arr)
+        wide = unroll(saxpy, 4)
+        orig = saxpy.loads[0]
+        copies = [i for i in wide.body if i.origin == orig.uid]
+        assert len(copies) == 4
+        original_addrs = {orig.pattern.address(i, layout) for i in range(16)}
+        unrolled_addrs = {
+            c.pattern.address(i, layout) for c in copies for i in range(4)
+        }
+        assert unrolled_addrs == original_addrs
+
+    def test_loop_carried_use_reads_previous_copy(self):
+        from repro.isa import Opcode
+
+        b = LoopBuilder("acc", trip_count=8)
+        arr = b.array("x", 64, 4)
+        v = b.load(arr, stride=1)
+        acc = b.accumulate(Opcode.IADD, v)
+        loop = b.build()
+        wide = unroll(loop, 4)
+        accs = [i for i in wide.body if i.opcode is Opcode.IADD and i.copy_index > 0]
+        # Copy k's accumulator reads copy k-1's accumulator def.
+        defs = wide.defs
+        for instr in accs:
+            producers = [defs[s] for s in instr.srcs if s in defs]
+            acc_producers = [p for p in producers if p.opcode is Opcode.IADD]
+            assert len(acc_producers) == 1
+            assert acc_producers[0].copy_index == instr.copy_index - 1
+
+    def test_copy_zero_reads_last_copy_across_iterations(self):
+        from repro.isa import Opcode
+
+        b = LoopBuilder("acc", trip_count=8)
+        arr = b.array("x", 64, 4)
+        v = b.load(arr, stride=1)
+        b.accumulate(Opcode.IADD, v)
+        wide = unroll(b.build(), 4)
+        ddg = build_ddg(wide, unified_config())
+        carried = [
+            e
+            for e in ddg.reg_edges()
+            if e.distance == 1 and ddg.instruction(e.src).opcode is Opcode.IADD
+        ]
+        assert carried
+        for edge in carried:
+            assert ddg.instruction(edge.src).copy_index == 3
+            assert ddg.instruction(edge.dst).copy_index == 0
+
+    def test_recurrence_distance_preserved_per_original_iteration(self, dpcm):
+        """Unrolling a distance-1 recurrence gives a chain through copies."""
+        wide = unroll(dpcm, 4)
+        ddg = build_ddg(wide, unified_config())
+        # Feasibility: recurrence cycle latency scales with the factor,
+        # so RecMII(unrolled) == 4 * RecMII(original) and per-original-
+        # iteration cost is unchanged.
+        narrow = build_ddg(dpcm, unified_config())
+        lat = lambda uid: 6  # noqa: E731
+        from repro.scheduler import rec_mii
+
+        assert rec_mii(ddg, lat) == 4 * rec_mii(narrow, lat)
+
+
+class TestStrideGroups:
+    def test_group_members_sorted_by_copy(self, saxpy):
+        wide = unroll(saxpy, 4)
+        first = next(i for i in wide.body if i.is_load)
+        group = stride_group(wide, first)
+        assert len(group) == 4
+        assert [g.copy_index for g in group] == [0, 1, 2, 3]
+        assert len({g.origin for g in group}) == 1
