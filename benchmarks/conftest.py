@@ -10,6 +10,8 @@ versions.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.eval import ExperimentContext
@@ -25,7 +27,21 @@ QUICK_CAP = 400
 
 @pytest.fixture(scope="session")
 def ctx() -> ExperimentContext:
+    """Shared pipeline session for all benchmarks.
+
+    Serial by default so per-benchmark timings stay comparable; set
+    ``REPRO_BENCH_WORKERS`` (e.g. ``-1`` for all cores) to fan the
+    simulation batches out across processes.
+    """
+    raw = os.environ.get("REPRO_BENCH_WORKERS", "").strip()
+    try:
+        workers = int(raw) if raw else None
+    except ValueError:
+        raise pytest.UsageError(
+            f"REPRO_BENCH_WORKERS must be an integer, got {raw!r}"
+        ) from None
     return ExperimentContext(
         options=SimOptions(sim_cap=QUICK_CAP),
         benchmarks=QUICK_BENCHMARKS,
+        workers=workers,
     )

@@ -53,11 +53,24 @@ def main(argv: list[str] | None = None) -> int:
         default=1500,
         help="max kernel iterations simulated per loop invocation",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for benchmark fan-out (default serial; -1 = all cores)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist simulation results as JSON under this directory",
+    )
     args = parser.parse_args(argv)
 
     ctx = ExperimentContext(
         options=SimOptions(sim_cap=args.sim_cap),
         benchmarks=tuple(args.benchmarks) if args.benchmarks else None,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
     )
 
     started = time.time()
@@ -92,7 +105,12 @@ def main(argv: list[str] | None = None) -> int:
                 )
             )
         print()
-    print(f"[{time.time() - started:.1f}s]", file=sys.stderr)
+    session = ctx.session
+    print(
+        f"[{time.time() - started:.1f}s, {session.simulations} simulations, "
+        f"{session.cache_hits} cache hits]",
+        file=sys.stderr,
+    )
     return 0
 
 

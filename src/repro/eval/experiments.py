@@ -12,11 +12,15 @@ is taken.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
+from pathlib import Path
 
 from ..ir import stride
 from ..machine.config import MachineConfig, interleaved_config, l0_config, multivliw_config, unified_config
-from ..sim.runner import SimOptions, run_program
+from ..pipeline.cache import ResultCache
+from ..pipeline.executor import RunRequest
+from ..pipeline.session import Session
+from ..sim.runner import SimOptions
 from ..sim.stats import ProgramResult
 from ..workloads.mediabench import PAPER_TABLE1, Benchmark, build, suite
 
@@ -39,16 +43,61 @@ class NormalizedTime:
 
 @dataclass
 class ExperimentContext:
-    """Caches program runs so experiments sharing configs don't re-run."""
+    """The experiments' handle on the pipeline session.
 
-    options: SimOptions = field(default_factory=SimOptions)
+    All simulation goes through :class:`repro.pipeline.Session`:
+    results are content-addressed by ``(benchmark, config, options)``
+    (experiments sharing a configuration share cache entries), batches
+    fan out across ``workers`` processes, and ``cache_dir`` persists
+    results on disk across invocations.
+    """
+
+    options: SimOptions | None = None  # defaults to SimOptions() post-init
     benchmarks: tuple[str, ...] | None = None
-    _cache: dict[tuple[str, str], ProgramResult] = field(default_factory=dict)
+    workers: int | None = None  # None/0/1 serial, N processes, -1 all cores
+    cache_dir: str | Path | None = None
+    session: Session = None  # type: ignore[assignment] - filled in post-init
+
+    def __post_init__(self) -> None:
+        if self.session is None:
+            if self.options is None:
+                self.options = SimOptions()
+            self.session = Session(
+                options=self.options,
+                cache=ResultCache(self.cache_dir),
+                workers=self.workers,
+            )
+        else:
+            if self.workers is not None or self.cache_dir is not None:
+                raise ValueError(
+                    "workers/cache_dir configure the context's own session; "
+                    "set them on the explicit Session instead"
+                )
+            if self.options is not None and self.options != self.session.options:
+                raise ValueError(
+                    "options conflicts with the explicit session's options; "
+                    "pass one or the other"
+                )
+            # The session owns the authoritative options: ctx.options must
+            # never diverge from what the session simulates with.
+            self.options = self.session.options
 
     def names(self) -> tuple[str, ...]:
         if self.benchmarks is not None:
             return self.benchmarks
         return tuple(PAPER_TABLE1)
+
+    def request(
+        self,
+        bench_name: str,
+        config: MachineConfig,
+        options: SimOptions | None = None,
+    ) -> RunRequest:
+        return self.session.request(bench_name, config, options)
+
+    def prefetch(self, requests) -> None:
+        """Warm the cache for a batch (the parallel fan-out point)."""
+        self.session.prefetch(list(requests))
 
     def run(
         self,
@@ -58,12 +107,11 @@ class ExperimentContext:
         *,
         options: SimOptions | None = None,
     ) -> ProgramResult:
-        key = (bench_name, label)
-        if key not in self._cache:
-            self._cache[key] = run_program(
-                build(bench_name), config, options=options or self.options
-            )
-        return self._cache[key]
+        del label  # results are content-addressed; labels are display-only
+        return self.session.run(self.request(bench_name, config, options))
+
+    def baseline_request(self, bench_name: str) -> RunRequest:
+        return self.request(bench_name, unified_config())
 
     def baseline(self, bench_name: str) -> ProgramResult:
         return self.run(bench_name, "baseline", unified_config())
@@ -178,6 +226,14 @@ def fig5(
     ctx: ExperimentContext, sizes: tuple[int | None, ...] = FIG5_SIZES
 ) -> dict[str, list[NormalizedTime]]:
     """Normalized execution time for each L0 size (None = unbounded)."""
+    ctx.prefetch(
+        [ctx.baseline_request(name) for name in ctx.names()]
+        + [
+            ctx.request(name, l0_config(entries))
+            for entries in sizes
+            for name in ctx.names()
+        ]
+    )
     series: dict[str, list[NormalizedTime]] = {}
     for entries in sizes:
         label = f"{entries} entries" if entries is not None else "unbounded"
@@ -196,6 +252,7 @@ def fig5(
 
 
 def fig6(ctx: ExperimentContext) -> list[dict]:
+    ctx.prefetch([ctx.request(name, l0_config(8)) for name in ctx.names()])
     rows: list[dict] = []
     for name in ctx.names():
         result = ctx.run(name, "l0-8", l0_config(8))
@@ -235,16 +292,27 @@ def fig7(ctx: ExperimentContext) -> dict[str, list[NormalizedTime]]:
             {"interleaved_heuristic": 2},
         ),
     }
+    def options_for(compile_kwargs: dict) -> SimOptions:
+        # replace() keeps every other SimOptions field (selective_flush,
+        # future knobs) identical to the context's options.
+        return replace(
+            ctx.options,
+            compile_kwargs={**ctx.options.compile_kwargs, **compile_kwargs},
+        )
+
+    ctx.prefetch(
+        [ctx.baseline_request(name) for name in ctx.names()]
+        + [
+            ctx.request(name, config, options_for(compile_kwargs))
+            for _, config, compile_kwargs in configs.values()
+            for name in ctx.names()
+        ]
+    )
     series: dict[str, list[NormalizedTime]] = {}
     for label, (cache_key, config, compile_kwargs) in configs.items():
         rows: list[NormalizedTime] = []
         for name in ctx.names():
-            options = SimOptions(
-                sim_cap=ctx.options.sim_cap,
-                warm_invocations=ctx.options.warm_invocations,
-                compile_kwargs={**ctx.options.compile_kwargs, **compile_kwargs},
-            )
-            result = ctx.run(name, cache_key, config, options=options)
+            result = ctx.run(name, cache_key, config, options=options_for(compile_kwargs))
             rows.append(ctx.normalized(name, label, result))
         rows.append(_amean(rows, label))
         series[label] = rows
@@ -262,14 +330,24 @@ def ablation_all_candidates(ctx: ExperimentContext, entries: int = 4) -> list[di
     The paper: with 4-entry buffers, marking every candidate overflows
     the buffers and costs ~6% over the selective policy.
     """
+    options = replace(
+        ctx.options,
+        compile_kwargs={**ctx.options.compile_kwargs, "all_candidates": True},
+    )
+    ctx.prefetch(
+        [
+            request
+            for name in ctx.names()
+            for request in (
+                ctx.baseline_request(name),
+                ctx.request(name, l0_config(entries)),
+                ctx.request(name, l0_config(entries), options),
+            )
+        ]
+    )
     rows: list[dict] = []
     for name in ctx.names():
         selective = ctx.run(name, f"l0-{entries}", l0_config(entries))
-        options = SimOptions(
-            sim_cap=ctx.options.sim_cap,
-            warm_invocations=ctx.options.warm_invocations,
-            compile_kwargs={"all_candidates": True},
-        )
         greedy = ctx.run(
             name, f"l0-{entries}-allcand", l0_config(entries), options=options
         )
@@ -290,16 +368,29 @@ def ablation_prefetch_distance(
     ctx: ExperimentContext, names: tuple[str, ...] = ("epicdec", "rasta")
 ) -> list[dict]:
     """Prefetching two subblocks ahead (paper: epicdec -12%, rasta -4%)."""
+    options = replace(
+        ctx.options,
+        compile_kwargs={**ctx.options.compile_kwargs, "prefetch_distance": 2},
+    )
+    chosen = [
+        name
+        for name in names
+        if ctx.benchmarks is None or name in ctx.benchmarks
+    ]
+    ctx.prefetch(
+        [
+            request
+            for name in chosen
+            for request in (
+                ctx.baseline_request(name),
+                ctx.request(name, l0_config(8)),
+                ctx.request(name, l0_config(8), options),
+            )
+        ]
+    )
     rows: list[dict] = []
-    for name in names:
-        if ctx.benchmarks is not None and name not in ctx.benchmarks:
-            continue
+    for name in chosen:
         near = ctx.run(name, "l0-8", l0_config(8))
-        options = SimOptions(
-            sim_cap=ctx.options.sim_cap,
-            warm_invocations=ctx.options.warm_invocations,
-            compile_kwargs={"prefetch_distance": 2},
-        )
         far = ctx.run(name, "l0-8-pf2", l0_config(8), options=options)
         scalar = ctx.scalar_cycles(name)
         rows.append(

@@ -1,0 +1,74 @@
+"""Pipeline subsystem: pass-managed compilation, cached + parallel runs.
+
+Three layers, consumed bottom-up by the rest of the stack:
+
+* **Pass manager** (:mod:`.passes`, :mod:`.artifact`) — the compile flow
+  as named, registered passes over a :class:`CompilationArtifact`;
+  ``repro.scheduler.compile_loop`` is now a thin wrapper over it.
+* **Result cache** (:mod:`.cache`) — content-addressed
+  ``(benchmark, MachineConfig, SimOptions)`` -> :class:`ProgramResult`
+  store with an optional on-disk JSON mirror.
+* **Executor + session** (:mod:`.executor`, :mod:`.session`) — serial or
+  process-parallel fan-out of simulation requests behind the cache;
+  ``repro.eval.ExperimentContext`` runs everything through a session.
+"""
+
+from .artifact import (
+    CompilationArtifact,
+    CompileOptions,
+    PassOrderError,
+    PipelineError,
+)
+from .cache import (
+    ResultCache,
+    cache_key,
+    code_fingerprint,
+    decode_result,
+    encode_result,
+    result_fingerprint,
+)
+from .executor import (
+    ParallelExecutor,
+    RunRequest,
+    SerialExecutor,
+    execute_request,
+    make_executor,
+)
+from .passes import (
+    DEFAULT_PIPELINE,
+    Pass,
+    PassManager,
+    available_passes,
+    default_pass_manager,
+    get_pass,
+    make_policy,
+    register_pass,
+)
+from .session import Session
+
+__all__ = [
+    "DEFAULT_PIPELINE",
+    "CompilationArtifact",
+    "CompileOptions",
+    "ParallelExecutor",
+    "Pass",
+    "PassManager",
+    "PassOrderError",
+    "PipelineError",
+    "ResultCache",
+    "RunRequest",
+    "SerialExecutor",
+    "Session",
+    "available_passes",
+    "cache_key",
+    "code_fingerprint",
+    "decode_result",
+    "default_pass_manager",
+    "encode_result",
+    "execute_request",
+    "get_pass",
+    "make_executor",
+    "make_policy",
+    "register_pass",
+    "result_fingerprint",
+]

@@ -1,0 +1,201 @@
+"""Content-addressed cache of simulation results.
+
+A run is fully determined by ``(benchmark, MachineConfig, SimOptions)``
+— the simulator is deterministic (random access patterns are seeded) —
+so results are keyed by a SHA-256 digest of a canonical JSON rendering
+of those three values.  Experiments that share a configuration share
+cache entries automatically, regardless of what display label each
+experiment uses.
+
+The cache is in-memory first with an optional on-disk JSON store
+(one file per key), so sweeps can survive process restarts and be
+shared between the CLI and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import enum
+import functools
+import hashlib
+import json
+import os
+from dataclasses import fields, is_dataclass
+from pathlib import Path
+
+from ..machine.config import MachineConfig
+from ..sim.runner import SimOptions
+from ..sim.stats import ProgramResult
+
+
+def _canonical(value):
+    """Reduce a value to JSON-able primitives, deterministically."""
+    if isinstance(value, enum.Enum):
+        return value.name
+    if is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _canonical(getattr(value, f.name)) for f in fields(value)}
+    if isinstance(value, dict):
+        items = {str(_canonical(k)): _canonical(v) for k, v in value.items()}
+        return dict(sorted(items.items()))
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot canonicalise {type(value).__name__} for cache keying")
+
+
+@functools.lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Digest of the ``repro`` package sources.
+
+    Mixed into every cache key so a persisted ``--cache-dir`` can never
+    serve results simulated by a different version of the compiler or
+    simulator: "a run is fully determined by (benchmark, config,
+    options)" only holds for a fixed code base.
+    """
+    root = Path(__file__).resolve().parents[1]  # the repro package
+    digest = hashlib.sha256()
+    for file in sorted(root.rglob("*.py")):
+        digest.update(str(file.relative_to(root)).encode())
+        digest.update(file.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+def cache_key(benchmark: str, config: MachineConfig, options: SimOptions) -> str:
+    """Content hash identifying one (benchmark, config, options) run."""
+    payload = {
+        "benchmark": benchmark,
+        "code": code_fingerprint(),
+        "config": _canonical(config),
+        "options": _canonical(options),
+    }
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# ProgramResult <-> JSON
+# ----------------------------------------------------------------------
+
+
+def _result_classes() -> dict[str, type]:
+    from ..memory.bus import BusStats
+    from ..memory.hierarchy import MemoryStats
+    from ..memory.interleaved import InterleavedStats
+    from ..memory.l0buffer import L0Stats
+    from ..memory.l1cache import CacheStats
+    from ..memory.multivliw import MSIStats
+    from ..sim.stats import LoopResult, LoopRunResult
+
+    classes = (
+        ProgramResult,
+        LoopResult,
+        LoopRunResult,
+        MemoryStats,
+        L0Stats,
+        CacheStats,
+        BusStats,
+        InterleavedStats,
+        MSIStats,
+    )
+    return {cls.__name__: cls for cls in classes}
+
+
+def encode_result(value):
+    """Encode a result record (nested dataclasses of scalars) as JSON data."""
+    if is_dataclass(value) and not isinstance(value, type):
+        data = {f.name: encode_result(getattr(value, f.name)) for f in fields(value)}
+        data["__type__"] = type(value).__name__
+        return data
+    if isinstance(value, (list, tuple)):
+        return [encode_result(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot encode {type(value).__name__} into the result store")
+
+
+def decode_result(data):
+    if isinstance(data, dict):
+        name = data.get("__type__")
+        if name is None:
+            raise ValueError("result store entry missing __type__ tag")
+        cls = _result_classes().get(name)
+        if cls is None:
+            raise ValueError(f"result store references unknown type {name!r}")
+        kwargs = {k: decode_result(v) for k, v in data.items() if k != "__type__"}
+        return cls(**kwargs)
+    if isinstance(data, list):
+        return [decode_result(v) for v in data]
+    return data
+
+
+def result_fingerprint(result: ProgramResult) -> str:
+    """Canonical byte string of one result row (executor-parity checks)."""
+    return json.dumps(encode_result(result), sort_keys=True, separators=(",", ":"))
+
+
+class ResultCache:
+    """In-memory result cache with an optional on-disk JSON store."""
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self._memory: dict[str, ProgramResult] = {}
+        self.path = Path(path) if path is not None else None
+        if self.path is not None:
+            self.path.mkdir(parents=True, exist_ok=True)
+
+    def _file(self, key: str) -> Path:
+        assert self.path is not None
+        return self.path / f"{key}.json"
+
+    def get(self, key: str) -> ProgramResult | None:
+        result = self._memory.get(key)
+        if result is None and self.path is not None:
+            file = self._file(key)
+            if file.exists():
+                try:
+                    result = decode_result(json.loads(file.read_text()))
+                except (ValueError, TypeError, OSError):
+                    # A torn/corrupt/unreadable store entry is a miss, not
+                    # a crash: drop it so a fresh simulation can overwrite
+                    # it (OSError covers races with concurrent clear()).
+                    try:
+                        file.unlink(missing_ok=True)
+                    except OSError:
+                        pass
+                else:
+                    self._memory[key] = result
+        return result
+
+    def put(self, key: str, result: ProgramResult) -> None:
+        self._memory[key] = result
+        if self.path is not None:
+            file = self._file(key)
+            # Per-process tmp name + atomic rename, so concurrent writers
+            # sharing a cache dir never install a half-written entry.
+            # Persistence is best-effort: the result is already served
+            # from memory, so a disk failure must not abort the sweep.
+            tmp = self.path / f".{key}.{os.getpid()}.tmp"
+            try:
+                tmp.write_text(json.dumps(encode_result(result), sort_keys=True))
+                tmp.replace(file)
+            except OSError:
+                try:
+                    tmp.unlink(missing_ok=True)
+                except OSError:
+                    pass
+
+    def clear(self) -> None:
+        """Drop all entries — only files this cache wrote, never the
+        directory's unrelated contents."""
+        self._memory.clear()
+        if self.path is None:
+            return
+        def _is_key(stem: str) -> bool:
+            return len(stem) == 64 and all(c in "0123456789abcdef" for c in stem)
+
+        for file in self.path.glob("*.json"):
+            if _is_key(file.stem):
+                file.unlink()
+        # Orphaned tmp files from writers killed mid-put.
+        for tmp in self.path.glob(".*.tmp"):
+            if _is_key(tmp.name[1:].split(".")[0]):
+                tmp.unlink()

@@ -1,0 +1,92 @@
+"""Serial and process-parallel execution of simulation requests.
+
+A :class:`RunRequest` names a benchmark (rebuilt inside the worker, so
+only small config/options objects cross process boundaries) plus the
+machine configuration and simulation options.  Executors map a request
+list to results *in request order*, which — together with the
+deterministic simulator — makes serial and parallel execution produce
+identical result rows.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from ..machine.config import MachineConfig
+from ..sim.runner import SimOptions
+from ..sim.stats import ProgramResult
+from .cache import cache_key
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One benchmark x configuration simulation to perform."""
+
+    benchmark: str
+    config: MachineConfig
+    options: SimOptions = field(default_factory=SimOptions)
+
+    @property
+    def key(self) -> str:
+        return cache_key(self.benchmark, self.config, self.options)
+
+
+def execute_request(request: RunRequest) -> ProgramResult:
+    """Compile and simulate one request (module-level: picklable)."""
+    from ..sim.runner import run_program
+    from ..workloads.mediabench import build
+
+    return run_program(build(request.benchmark), request.config, options=request.options)
+
+
+class SerialExecutor:
+    """Runs requests one after another in this process."""
+
+    workers = 1
+
+    def map(self, requests) -> list[ProgramResult]:
+        return [execute_request(r) for r in requests]
+
+
+class ParallelExecutor:
+    """Fans requests out across worker processes.
+
+    Results come back in request order (``ProcessPoolExecutor.map``), so
+    swapping this in for :class:`SerialExecutor` changes wall-clock time
+    and nothing else.  The pool is created lazily and reused across
+    batches — one worker startup per sweep, not per figure (this matters
+    on spawn-based platforms, where each worker re-imports the package).
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = workers or os.cpu_count() or 1
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _get_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            atexit.register(self.shutdown)
+        return self._pool
+
+    def map(self, requests) -> list[ProgramResult]:
+        requests = list(requests)
+        if len(requests) <= 1 or self.workers <= 1:
+            return SerialExecutor().map(requests)
+        return list(self._get_pool().map(execute_request, requests))
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
+def make_executor(workers: int | None):
+    """``None``/0/1 -> serial; N>1 -> N processes; negative -> all cores."""
+    if workers is None or workers in (0, 1):
+        return SerialExecutor()
+    if workers < 0:
+        return ParallelExecutor()
+    return ParallelExecutor(workers)

@@ -1,0 +1,229 @@
+"""The pass-manager compile pipeline.
+
+Every stage of the paper's compilation flow — unroll choice, unrolling,
+memory disambiguation, DDG construction, policy selection, modulo
+scheduling (which performs the L0 candidate assignment through the
+policy) — is a named :class:`Pass` over a
+:class:`~repro.pipeline.artifact.CompilationArtifact`.  The default
+sequence reproduces the hard-wired driver exactly; new architectures or
+schedulers slot in by registering a pass and naming it in a custom
+sequence rather than editing the driver.
+
+    manager = PassManager()                     # the default pipeline
+    artifact = manager.run(loop, config)
+    compiled = artifact.compiled()              # legacy CompiledLoop
+
+Ordering is validated at construction time: a sequence whose pass
+requires a product no earlier pass provides raises
+:class:`~repro.pipeline.artifact.PassOrderError` before any work runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from ..ir import memdep
+from ..ir.ddg import build_ddg
+from ..ir.loop import Loop
+from ..ir.unroll import unroll
+from ..machine.config import ArchKind, MachineConfig
+from .artifact import CompilationArtifact, CompileOptions, PassOrderError, PipelineError
+
+
+@dataclass(frozen=True)
+class Pass:
+    """One named pipeline stage.
+
+    ``requires``/``provides`` name artifact product fields; they drive
+    the static ordering validation in :class:`PassManager`.
+    """
+
+    name: str
+    run: Callable[[CompilationArtifact], None]
+    requires: tuple[str, ...] = ()
+    provides: tuple[str, ...] = ()
+
+    def __call__(self, artifact: CompilationArtifact) -> None:
+        artifact.require(self.name, *self.requires)
+        self.run(artifact)
+        artifact.trace.append(self.name)
+
+
+_REGISTRY: dict[str, Pass] = {}
+
+
+def register_pass(
+    name: str,
+    *,
+    requires: Iterable[str] = (),
+    provides: Iterable[str] = (),
+) -> Callable[[Callable[[CompilationArtifact], None]], Pass]:
+    """Decorator: register ``fn`` as a named pass in the global registry."""
+    known = set(CompilationArtifact.product_fields())
+    bad = (set(requires) | set(provides)) - known
+    if bad:
+        raise PipelineError(f"pass {name!r} names unknown artifact fields {sorted(bad)}")
+
+    def decorate(fn: Callable[[CompilationArtifact], None]) -> Pass:
+        if name in _REGISTRY:
+            raise PipelineError(f"pass {name!r} already registered")
+        p = Pass(name=name, run=fn, requires=tuple(requires), provides=tuple(provides))
+        _REGISTRY[name] = p
+        return p
+
+    return decorate
+
+
+def get_pass(name: str) -> Pass:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise PipelineError(
+            f"unknown pass {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_passes() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+# ----------------------------------------------------------------------
+# The default passes (the paper's compilation flow, sections 4-5)
+# ----------------------------------------------------------------------
+
+
+@register_pass("select-unroll", provides=("unroll_factor",))
+def _select_unroll(artifact: CompilationArtifact) -> None:
+    """Step 1: pick 1 or N via the static compute-time estimate."""
+    from ..scheduler.driver import choose_unroll_factor
+
+    forced = artifact.options.unroll_factor
+    artifact.unroll_factor = (
+        choose_unroll_factor(artifact.loop, artifact.config) if forced is None else forced
+    )
+
+
+@register_pass("apply-unroll", requires=("unroll_factor",), provides=("body",))
+def _apply_unroll(artifact: CompilationArtifact) -> None:
+    artifact.body = unroll(artifact.loop, artifact.unroll_factor)
+
+
+@register_pass("mem-disambiguation", requires=("body",), provides=("dep_info",))
+def _mem_disambiguation(artifact: CompilationArtifact) -> None:
+    artifact.dep_info = memdep.analyze(artifact.body)
+
+
+@register_pass("build-ddg", requires=("body", "dep_info"), provides=("ddg",))
+def _build_ddg(artifact: CompilationArtifact) -> None:
+    artifact.ddg = build_ddg(artifact.body, artifact.config, artifact.dep_info)
+
+
+@register_pass("select-policy", requires=("body", "dep_info"), provides=("policy",))
+def _select_policy(artifact: CompilationArtifact) -> None:
+    artifact.policy = make_policy(
+        artifact.body, artifact.config, artifact.dep_info, artifact.options
+    )
+
+
+@register_pass("modulo-schedule", requires=("ddg", "policy"), provides=("schedule",))
+def _modulo_schedule(artifact: CompilationArtifact) -> None:
+    """Cluster-aware SMS; the policy performs L0/mapping assignment."""
+    from ..scheduler.engine import ClusterScheduler
+
+    engine = ClusterScheduler(artifact.ddg, artifact.config, artifact.policy)
+    artifact.schedule = engine.schedule()
+
+
+def make_policy(
+    loop: Loop,
+    config: MachineConfig,
+    dep_info: memdep.MemDepInfo,
+    options: CompileOptions,
+):
+    """Instantiate the memory policy matching the target architecture."""
+    from ..scheduler.l0policy import L0Policy
+    from ..scheduler.policies import InterleavedPolicy, MultiVLIWPolicy, UnifiedPolicy
+
+    if config.arch is ArchKind.UNIFIED:
+        return UnifiedPolicy(loop, config)
+    if config.arch is ArchKind.L0:
+        return L0Policy(
+            loop,
+            config,
+            dep_info,
+            all_candidates=options.all_candidates,
+            allow_psr=options.allow_psr,
+            prefetch_distance=options.prefetch_distance,
+        )
+    if config.arch is ArchKind.MULTIVLIW:
+        return MultiVLIWPolicy(loop, config)
+    if config.arch is ArchKind.INTERLEAVED:
+        return InterleavedPolicy(loop, config, heuristic=options.interleaved_heuristic)
+    raise ValueError(f"unknown architecture {config.arch}")
+
+
+#: The paper's flow, in order.
+DEFAULT_PIPELINE: tuple[str, ...] = (
+    "select-unroll",
+    "apply-unroll",
+    "mem-disambiguation",
+    "build-ddg",
+    "select-policy",
+    "modulo-schedule",
+)
+
+
+class PassManager:
+    """An ordered, validated sequence of passes.
+
+    Accepts pass names (resolved in the registry) or :class:`Pass`
+    objects; validates at construction that each pass's ``requires`` is
+    covered by the union of earlier passes' ``provides``.
+    """
+
+    def __init__(self, passes: Sequence[str | Pass] | None = None) -> None:
+        chosen = DEFAULT_PIPELINE if passes is None else passes
+        self.passes: tuple[Pass, ...] = tuple(
+            p if isinstance(p, Pass) else get_pass(p) for p in chosen
+        )
+        self._validate()
+
+    def _validate(self) -> None:
+        provided: set[str] = set()
+        for p in self.passes:
+            missing = set(p.requires) - provided
+            if missing:
+                raise PassOrderError(
+                    f"pass {p.name!r} requires {sorted(missing)} but the "
+                    f"preceding passes only provide {sorted(provided)}"
+                )
+            provided |= set(p.provides)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.passes)
+
+    def run(
+        self,
+        loop: Loop,
+        config: MachineConfig,
+        options: CompileOptions | None = None,
+    ) -> CompilationArtifact:
+        artifact = CompilationArtifact(
+            loop=loop, config=config, options=options or CompileOptions()
+        )
+        for p in self.passes:
+            p(artifact)
+        return artifact
+
+
+_DEFAULT_MANAGER: PassManager | None = None
+
+
+def default_pass_manager() -> PassManager:
+    """The shared, pre-validated default pipeline (hot compile path)."""
+    global _DEFAULT_MANAGER
+    if _DEFAULT_MANAGER is None:
+        _DEFAULT_MANAGER = PassManager()
+    return _DEFAULT_MANAGER

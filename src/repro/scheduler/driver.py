@@ -1,25 +1,23 @@
-"""Top-level compilation driver: unroll choice + policy selection + engine.
+"""Top-level compilation driver (compatibility wrapper).
 
-``compile_loop`` is the public entry point: it picks the unroll factor
-(1 or N, step 1 of the paper's algorithm), builds the DDG, instantiates
-the policy matching the target architecture, and runs the scheduling
-engine.  The same unrolling decision is used for every architecture so
-comparisons are not biased by unrolling (paper sections 5.1-5.3).
+``compile_loop`` remains the public entry point, but the flow it used to
+hard-wire — unroll choice, unrolling, memory disambiguation, DDG build,
+policy selection, modulo scheduling — now lives in the pass-managed
+pipeline (:mod:`repro.pipeline.passes`).  This module keeps the legacy
+signature, the :class:`CompiledLoop` record, and the unroll heuristic
+(step 1 of the paper's algorithm; the same unrolling decision is used
+for every architecture so comparisons are not biased, sections 5.1-5.3).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..ir import memdep
 from ..ir.ddg import DDG, build_ddg
 from ..ir.loop import Loop
 from ..ir.unroll import unroll
-from ..machine.config import ArchKind, MachineConfig
-from .engine import ClusterScheduler
-from .l0policy import L0Policy
+from ..machine.config import MachineConfig
 from .mii import rec_mii, res_mii
-from .policies import InterleavedPolicy, MultiVLIWPolicy, UnifiedPolicy
 from .schedule import ModuloSchedule
 
 
@@ -75,34 +73,6 @@ def choose_unroll_factor(loop: Loop, config: MachineConfig) -> int:
     return 1
 
 
-def _make_policy(
-    loop: Loop,
-    config: MachineConfig,
-    dep_info: memdep.MemDepInfo,
-    *,
-    interleaved_heuristic: int,
-    all_candidates: bool,
-    allow_psr: bool,
-    prefetch_distance: int,
-):
-    if config.arch is ArchKind.UNIFIED:
-        return UnifiedPolicy(loop, config)
-    if config.arch is ArchKind.L0:
-        return L0Policy(
-            loop,
-            config,
-            dep_info,
-            all_candidates=all_candidates,
-            allow_psr=allow_psr,
-            prefetch_distance=prefetch_distance,
-        )
-    if config.arch is ArchKind.MULTIVLIW:
-        return MultiVLIWPolicy(loop, config)
-    if config.arch is ArchKind.INTERLEAVED:
-        return InterleavedPolicy(loop, config, heuristic=interleaved_heuristic)
-    raise ValueError(f"unknown architecture {config.arch}")
-
-
 def compile_loop(
     loop: Loop,
     config: MachineConfig,
@@ -117,28 +87,18 @@ def compile_loop(
 
     ``unroll_factor=None`` applies the paper's static unroll heuristic;
     pass 1 or N to force a factor (used by tests and ablations).
+
+    Thin wrapper over the default pass pipeline; build a custom
+    :class:`repro.pipeline.PassManager` to change the flow itself.
     """
-    factor = (
-        choose_unroll_factor(loop, config) if unroll_factor is None else unroll_factor
-    )
-    body = unroll(loop, factor)
-    dep_info = memdep.analyze(body)
-    ddg = build_ddg(body, config, dep_info)
-    policy = _make_policy(
-        body,
-        config,
-        dep_info,
+    from ..pipeline.artifact import CompileOptions
+    from ..pipeline.passes import default_pass_manager
+
+    options = CompileOptions(
+        unroll_factor=unroll_factor,
         interleaved_heuristic=interleaved_heuristic,
         all_candidates=all_candidates,
         allow_psr=allow_psr,
         prefetch_distance=prefetch_distance,
     )
-    engine = ClusterScheduler(ddg, config, policy)
-    schedule = engine.schedule()
-    return CompiledLoop(
-        loop=body,
-        schedule=schedule,
-        ddg=ddg,
-        policy_name=policy.name,
-        unroll_factor=factor,
-    )
+    return default_pass_manager().run(loop, config, options).compiled()

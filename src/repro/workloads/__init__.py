@@ -2,6 +2,7 @@
 
 from . import kernels
 from .generator import random_loop
+from .kernels import make_column, make_dpcm, make_saxpy
 from .mediabench import (
     BENCHMARK_BUILDERS,
     BENCHMARK_NAMES,
@@ -20,6 +21,9 @@ __all__ = [
     "PAPER_TABLE1",
     "build",
     "kernels",
+    "make_column",
+    "make_dpcm",
+    "make_saxpy",
     "random_loop",
     "suite",
 ]

@@ -41,6 +41,52 @@ def _fp_chain(b: LoopBuilder, seed: VReg, depth: int, salt: VReg) -> VReg:
     return value
 
 
+def make_saxpy(trip: int = 256, n: int = 1024) -> Loop:
+    """``y[i] = a * x[i] + y[i]`` — two streams, one in-place store.
+
+    The canonical recurrence-free micro-kernel shared by the tests,
+    examples, and docs (importable, unlike a conftest).
+    """
+    b = LoopBuilder("saxpy", trip_count=trip)
+    x = b.array("x", n, 4)
+    y = b.array("y", n, 4)
+    a = b.live_in("a")
+    vx = b.load(x, stride=1, tag="ld_x")
+    vy = b.load(y, stride=1, tag="ld_y")
+    prod = b.fmul(a, vx)
+    total = b.fadd(prod, vy)
+    b.store(y, total, stride=1, tag="st_y")
+    return b.build()
+
+
+def make_dpcm(trip: int = 256, n: int = 1024) -> Loop:
+    """``y[i+1] = f(y[i], x[i])`` — the canonical recurrence-through-a-load."""
+    b = LoopBuilder("dpcm", trip_count=trip)
+    x = b.array("x", n, 2)
+    y = b.array("y", n, 2)
+    a = b.live_in("a")
+    prev = b.load(y, stride=1, offset=0, tag="ld_prev")
+    vx = b.load(x, stride=1, tag="ld_x")
+    m = b.imul(prev, a)
+    s = b.iadd(m, vx)
+    b.store(y, s, stride=1, offset=1, tag="st_y")
+    return b.build()
+
+
+def make_column(trip: int = 64, n: int = 512, stride: int = 8) -> Loop:
+    """Canonical non-unit-stride ("other" stride class) micro-kernel."""
+    b = LoopBuilder("column", trip_count=trip)
+    src = b.array("src", n, 2)
+    dst = b.array("dst", n, 2)
+    k = b.live_in("k")
+    v = b.load(src, stride=stride, tag="ld_col")
+    w = b.iadd(v, k)
+    w = b.ixor(w, k)
+    w = b.imax(w, k)
+    b.store(dst, w, stride=stride, tag="st_col")
+    return b.build()
+
+
 def stream_map(
     name: str,
     *,

@@ -1,52 +1,17 @@
-"""Shared fixtures: canonical loops and machine configurations."""
+"""Shared fixtures: canonical loops and machine configurations.
+
+The loop factories live in :mod:`repro.workloads.kernels` (an importable
+module); tests that need them directly import them from there rather
+than from this conftest, which pytest does not guarantee to be the one
+on ``sys.path`` when several test roots are collected together.
+"""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.ir import LoopBuilder
 from repro.machine import l0_config, unified_config
-
-
-def make_saxpy(trip: int = 256, n: int = 1024) -> "Loop":  # noqa: F821
-    """y[i] = a * x[i] + y[i] — two streams, one in-place store."""
-    b = LoopBuilder("saxpy", trip_count=trip)
-    x = b.array("x", n, 4)
-    y = b.array("y", n, 4)
-    a = b.live_in("a")
-    vx = b.load(x, stride=1, tag="ld_x")
-    vy = b.load(y, stride=1, tag="ld_y")
-    prod = b.fmul(a, vx)
-    total = b.fadd(prod, vy)
-    b.store(y, total, stride=1, tag="st_y")
-    return b.build()
-
-
-def make_dpcm(trip: int = 256, n: int = 1024) -> "Loop":  # noqa: F821
-    """y[i+1] = f(y[i], x[i]) — a recurrence through a load."""
-    b = LoopBuilder("dpcm", trip_count=trip)
-    x = b.array("x", n, 2)
-    y = b.array("y", n, 2)
-    a = b.live_in("a")
-    prev = b.load(y, stride=1, offset=0, tag="ld_prev")
-    vx = b.load(x, stride=1, tag="ld_x")
-    m = b.imul(prev, a)
-    s = b.iadd(m, vx)
-    b.store(y, s, stride=1, offset=1, tag="st_y")
-    return b.build()
-
-
-def make_column(trip: int = 64, n: int = 512, stride: int = 8) -> "Loop":  # noqa: F821
-    b = LoopBuilder("column", trip_count=trip)
-    src = b.array("src", n, 2)
-    dst = b.array("dst", n, 2)
-    k = b.live_in("k")
-    v = b.load(src, stride=stride, tag="ld_col")
-    w = b.iadd(v, k)
-    w = b.ixor(w, k)
-    w = b.imax(w, k)
-    b.store(dst, w, stride=stride, tag="st_col")
-    return b.build()
+from repro.workloads.kernels import make_column, make_dpcm, make_saxpy
 
 
 @pytest.fixture

@@ -15,7 +15,7 @@ from repro.ir import (
 )
 from repro.machine import unified_config
 
-from conftest import make_dpcm, make_saxpy
+from repro.workloads.kernels import make_dpcm, make_saxpy
 
 
 L1 = 6

@@ -15,7 +15,7 @@ from repro.sim import (
 )
 from repro.workloads import build, kernels
 
-from conftest import make_dpcm, make_saxpy
+from repro.workloads.kernels import make_dpcm, make_saxpy
 
 
 def execute(loop, config, iterations=None, **compile_kwargs):

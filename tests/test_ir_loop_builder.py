@@ -5,7 +5,7 @@ import pytest
 from repro.ir import LoopBuilder
 from repro.isa import Opcode
 
-from conftest import make_dpcm, make_saxpy
+from repro.workloads.kernels import make_dpcm, make_saxpy
 
 
 class TestLoopBuilder:

@@ -7,7 +7,7 @@ from repro.isa import AccessHint, MapHint, Opcode, PrefetchHint
 from repro.machine import l0_config
 from repro.scheduler import CoherenceScheme, compile_loop
 
-from conftest import make_column, make_dpcm, make_saxpy
+from repro.workloads.kernels import make_column, make_dpcm, make_saxpy
 
 
 def loads_of(compiled):

@@ -4,7 +4,7 @@ from repro.ir import LoopBuilder, analyze, order_edges
 from repro.ir.memdep import patterns_may_alias
 from repro.isa import AccessPattern, ArrayRef, PatternKind
 
-from conftest import make_dpcm, make_saxpy
+from repro.workloads.kernels import make_dpcm, make_saxpy
 
 
 def _strided(array, stride, offset=0):

@@ -14,7 +14,7 @@ from repro.scheduler import (
     sms_order,
 )
 
-from conftest import make_dpcm, make_saxpy
+from repro.workloads.kernels import make_dpcm, make_saxpy
 
 CFG = unified_config()
 L1 = lambda uid: 6  # noqa: E731

@@ -20,7 +20,7 @@ from repro.sim import (
 )
 from repro.workloads import Benchmark, LoopSpec, kernels
 
-from conftest import make_dpcm, make_saxpy
+from repro.workloads.kernels import make_dpcm, make_saxpy
 
 
 class TestMaxLive:

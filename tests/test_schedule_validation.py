@@ -13,7 +13,7 @@ from repro.ir import build_ddg
 from repro.machine import unified_config
 from repro.scheduler import compile_loop
 
-from conftest import make_saxpy
+from repro.workloads.kernels import make_saxpy
 
 
 @pytest.fixture

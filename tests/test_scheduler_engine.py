@@ -10,7 +10,7 @@ from repro.scheduler import (
     compile_loop,
 )
 
-from conftest import make_column, make_dpcm, make_saxpy
+from repro.workloads.kernels import make_column, make_dpcm, make_saxpy
 
 
 class TestBaseScheduling:

@@ -7,7 +7,7 @@ from repro.ir.unroll import stride_group
 from repro.isa import MemoryLayout, Opcode
 from repro.machine import unified_config
 
-from conftest import make_dpcm, make_saxpy
+from repro.workloads.kernels import make_dpcm, make_saxpy
 
 
 class TestUnrollStructure:

@@ -127,6 +127,7 @@ class TestFigures:
             assert 1.0 <= row["avg_unroll"] <= 4.0
 
     def test_context_caches_runs(self, quick_ctx):
-        before = dict(quick_ctx._cache)
-        fig5(quick_ctx, sizes=(8,))  # re-run: should hit the cache
-        assert set(quick_ctx._cache) == set(before)
+        fig5(quick_ctx, sizes=(8,))
+        before = quick_ctx.session.simulations
+        fig5(quick_ctx, sizes=(8,))  # re-run: pure cache hits
+        assert quick_ctx.session.simulations == before
