@@ -2,18 +2,21 @@
 
 Not a paper artifact — a regression guard on the scheduler's cost
 (ejection storms or window bugs show up here as big slowdowns).
+Compiles through a fresh per-call cache so every iteration measures the
+real pipeline, not a compile-cache lookup.
 """
 
 from repro.machine import l0_config, unified_config
-from repro.scheduler import compile_loop
+from repro.pipeline import CompiledLoopCache, compile_cached
 from repro.workloads import build
 
 
 def _compile_suite(config):
+    cache = CompiledLoopCache()
     compiled = []
     for name in ("g721dec", "jpegdec", "rasta"):
         for spec in build(name).loops:
-            compiled.append(compile_loop(spec.loop, config))
+            compiled.append(compile_cached(spec.loop, config, cache=cache))
     return compiled
 
 

@@ -64,13 +64,26 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="persist simulation results as JSON under this directory",
     )
+    parser.add_argument(
+        "--compile-cache-dir",
+        default=None,
+        help="persist compile artifacts (pickled CompiledLoops) under this directory",
+    )
+    parser.add_argument(
+        "--loop-workers",
+        type=int,
+        default=None,
+        help="worker processes for per-program loop fan-out (default serial; "
+        "-1 = all cores); results are byte-identical to serial",
+    )
     args = parser.parse_args(argv)
 
     ctx = ExperimentContext(
-        options=SimOptions(sim_cap=args.sim_cap),
+        options=SimOptions(sim_cap=args.sim_cap, loop_workers=args.loop_workers),
         benchmarks=tuple(args.benchmarks) if args.benchmarks else None,
         workers=args.workers,
         cache_dir=args.cache_dir,
+        compile_cache_dir=args.compile_cache_dir,
     )
 
     started = time.time()
@@ -106,11 +119,28 @@ def main(argv: list[str] | None = None) -> int:
             )
         print()
     session = ctx.session
-    print(
+    trailer = (
         f"[{time.time() - started:.1f}s, {session.simulations} simulations, "
-        f"{session.cache_hits} cache hits]",
-        file=sys.stderr,
+        f"{session.cache_hits} cache hits"
     )
+
+    def _parallel(workers: int | None) -> bool:
+        return workers is not None and workers not in (0, 1)
+
+    if _parallel(args.workers) or _parallel(args.loop_workers):
+        # Compilation happened inside pool workers; this process's
+        # compile-cache counters cannot reflect it, so don't print them.
+        trailer += ", compile stats in workers]"
+    else:
+        from ..pipeline.compilecache import get_compile_cache
+
+        compile_stats = get_compile_cache(args.compile_cache_dir).stats
+        trailer += (
+            f", {compile_stats.compilations} compilations "
+            f"({compile_stats.full_hits + compile_stats.frontend_hits} "
+            "compile-cache hits)]"
+        )
+    print(trailer, file=sys.stderr)
     return 0
 
 

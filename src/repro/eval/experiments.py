@@ -56,22 +56,34 @@ class ExperimentContext:
     benchmarks: tuple[str, ...] | None = None
     workers: int | None = None  # None/0/1 serial, N processes, -1 all cores
     cache_dir: str | Path | None = None
+    compile_cache_dir: str | Path | None = None
     session: Session = None  # type: ignore[assignment] - filled in post-init
 
     def __post_init__(self) -> None:
         if self.session is None:
             if self.options is None:
                 self.options = SimOptions()
+            if self.compile_cache_dir is not None:
+                # Rides inside the options (excluded from cache keys) so
+                # worker processes inherit it through pickled requests.
+                self.options = replace(
+                    self.options, compile_cache_dir=str(self.compile_cache_dir)
+                )
             self.session = Session(
                 options=self.options,
                 cache=ResultCache(self.cache_dir),
                 workers=self.workers,
             )
         else:
-            if self.workers is not None or self.cache_dir is not None:
+            if (
+                self.workers is not None
+                or self.cache_dir is not None
+                or self.compile_cache_dir is not None
+            ):
                 raise ValueError(
-                    "workers/cache_dir configure the context's own session; "
-                    "set them on the explicit Session instead"
+                    "workers/cache_dir/compile_cache_dir configure the "
+                    "context's own session; set them on the explicit "
+                    "Session instead"
                 )
             if self.options is not None and self.options != self.session.options:
                 raise ValueError(
@@ -86,6 +98,18 @@ class ExperimentContext:
         if self.benchmarks is not None:
             return self.benchmarks
         return tuple(PAPER_TABLE1)
+
+    def options_with(self, **compile_kwargs) -> SimOptions:
+        """The context's options with extra ``compile_kwargs`` merged in.
+
+        Every other knob (sim cap, selective flush, future fields) stays
+        identical to the context's options, so derived runs remain
+        content-addressed alongside the context's own.
+        """
+        return replace(
+            self.options,
+            compile_kwargs={**self.options.compile_kwargs, **compile_kwargs},
+        )
 
     def request(
         self,
@@ -226,20 +250,24 @@ def fig5(
     ctx: ExperimentContext, sizes: tuple[int | None, ...] = FIG5_SIZES
 ) -> dict[str, list[NormalizedTime]]:
     """Normalized execution time for each L0 size (None = unbounded)."""
+    # One request list drives both the warm-up prefetch and the row
+    # assembly below, so a new row can never drift out of the parallel
+    # batch (a second, hand-maintained list silently de-parallelises).
+    requests = {
+        (name, entries): ctx.request(name, l0_config(entries))
+        for entries in sizes
+        for name in ctx.names()
+    }
     ctx.prefetch(
         [ctx.baseline_request(name) for name in ctx.names()]
-        + [
-            ctx.request(name, l0_config(entries))
-            for entries in sizes
-            for name in ctx.names()
-        ]
+        + list(requests.values())
     )
     series: dict[str, list[NormalizedTime]] = {}
     for entries in sizes:
         label = f"{entries} entries" if entries is not None else "unbounded"
         rows: list[NormalizedTime] = []
         for name in ctx.names():
-            result = ctx.run(name, f"l0-{entries}", l0_config(entries))
+            result = ctx.session.run(requests[(name, entries)])
             rows.append(ctx.normalized(name, label, result))
         rows.append(_amean(rows, label))
         series[label] = rows
@@ -252,10 +280,11 @@ def fig5(
 
 
 def fig6(ctx: ExperimentContext) -> list[dict]:
-    ctx.prefetch([ctx.request(name, l0_config(8)) for name in ctx.names()])
+    requests = {name: ctx.request(name, l0_config(8)) for name in ctx.names()}
+    ctx.prefetch(list(requests.values()))
     rows: list[dict] = []
     for name in ctx.names():
-        result = ctx.run(name, "l0-8", l0_config(8))
+        result = ctx.session.run(requests[name])
         stats = result.memory_stats
         fills = stats.l0.linear_fills + stats.l0.interleaved_fills
         rows.append(
@@ -279,40 +308,25 @@ def fig6(ctx: ExperimentContext) -> list[dict]:
 
 def fig7(ctx: ExperimentContext) -> dict[str, list[NormalizedTime]]:
     configs = {
-        "8-entry L0 buffers": ("l0-8", l0_config(8), {}),
-        "MultiVLIW": ("multivliw", multivliw_config(), {}),
-        "Interleaved 1": (
-            "interleaved1",
-            interleaved_config(),
-            {"interleaved_heuristic": 1},
-        ),
-        "Interleaved 2": (
-            "interleaved2",
-            interleaved_config(),
-            {"interleaved_heuristic": 2},
-        ),
+        "8-entry L0 buffers": (l0_config(8), {}),
+        "MultiVLIW": (multivliw_config(), {}),
+        "Interleaved 1": (interleaved_config(), {"interleaved_heuristic": 1}),
+        "Interleaved 2": (interleaved_config(), {"interleaved_heuristic": 2}),
     }
-    def options_for(compile_kwargs: dict) -> SimOptions:
-        # replace() keeps every other SimOptions field (selective_flush,
-        # future knobs) identical to the context's options.
-        return replace(
-            ctx.options,
-            compile_kwargs={**ctx.options.compile_kwargs, **compile_kwargs},
-        )
-
+    requests = {
+        (label, name): ctx.request(name, config, ctx.options_with(**compile_kwargs))
+        for label, (config, compile_kwargs) in configs.items()
+        for name in ctx.names()
+    }
     ctx.prefetch(
         [ctx.baseline_request(name) for name in ctx.names()]
-        + [
-            ctx.request(name, config, options_for(compile_kwargs))
-            for _, config, compile_kwargs in configs.values()
-            for name in ctx.names()
-        ]
+        + list(requests.values())
     )
     series: dict[str, list[NormalizedTime]] = {}
-    for label, (cache_key, config, compile_kwargs) in configs.items():
+    for label in configs:
         rows: list[NormalizedTime] = []
         for name in ctx.names():
-            result = ctx.run(name, cache_key, config, options=options_for(compile_kwargs))
+            result = ctx.session.run(requests[(label, name)])
             rows.append(ctx.normalized(name, label, result))
         rows.append(_amean(rows, label))
         series[label] = rows
@@ -330,27 +344,22 @@ def ablation_all_candidates(ctx: ExperimentContext, entries: int = 4) -> list[di
     The paper: with 4-entry buffers, marking every candidate overflows
     the buffers and costs ~6% over the selective policy.
     """
-    options = replace(
-        ctx.options,
-        compile_kwargs={**ctx.options.compile_kwargs, "all_candidates": True},
-    )
+    options = ctx.options_with(all_candidates=True)
+    selective_requests = {
+        name: ctx.request(name, l0_config(entries)) for name in ctx.names()
+    }
+    greedy_requests = {
+        name: ctx.request(name, l0_config(entries), options) for name in ctx.names()
+    }
     ctx.prefetch(
-        [
-            request
-            for name in ctx.names()
-            for request in (
-                ctx.baseline_request(name),
-                ctx.request(name, l0_config(entries)),
-                ctx.request(name, l0_config(entries), options),
-            )
-        ]
+        [ctx.baseline_request(name) for name in ctx.names()]
+        + list(selective_requests.values())
+        + list(greedy_requests.values())
     )
     rows: list[dict] = []
     for name in ctx.names():
-        selective = ctx.run(name, f"l0-{entries}", l0_config(entries))
-        greedy = ctx.run(
-            name, f"l0-{entries}-allcand", l0_config(entries), options=options
-        )
+        selective = ctx.session.run(selective_requests[name])
+        greedy = ctx.session.run(greedy_requests[name])
         scalar = ctx.scalar_cycles(name)
         rows.append(
             {
@@ -368,30 +377,23 @@ def ablation_prefetch_distance(
     ctx: ExperimentContext, names: tuple[str, ...] = ("epicdec", "rasta")
 ) -> list[dict]:
     """Prefetching two subblocks ahead (paper: epicdec -12%, rasta -4%)."""
-    options = replace(
-        ctx.options,
-        compile_kwargs={**ctx.options.compile_kwargs, "prefetch_distance": 2},
-    )
+    options = ctx.options_with(prefetch_distance=2)
     chosen = [
         name
         for name in names
         if ctx.benchmarks is None or name in ctx.benchmarks
     ]
+    near_requests = {name: ctx.request(name, l0_config(8)) for name in chosen}
+    far_requests = {name: ctx.request(name, l0_config(8), options) for name in chosen}
     ctx.prefetch(
-        [
-            request
-            for name in chosen
-            for request in (
-                ctx.baseline_request(name),
-                ctx.request(name, l0_config(8)),
-                ctx.request(name, l0_config(8), options),
-            )
-        ]
+        [ctx.baseline_request(name) for name in chosen]
+        + list(near_requests.values())
+        + list(far_requests.values())
     )
     rows: list[dict] = []
     for name in chosen:
-        near = ctx.run(name, "l0-8", l0_config(8))
-        far = ctx.run(name, "l0-8-pf2", l0_config(8), options=options)
+        near = ctx.session.run(near_requests[name])
+        far = ctx.session.run(far_requests[name])
         scalar = ctx.scalar_cycles(name)
         rows.append(
             {

@@ -20,6 +20,7 @@ from .artifact import (
     PipelineError,
 )
 from .cache import (
+    KeyedFileStore,
     ResultCache,
     cache_key,
     code_fingerprint,
@@ -27,15 +28,28 @@ from .cache import (
     encode_result,
     result_fingerprint,
 )
+from .compilecache import (
+    CompileCacheStats,
+    CompiledLoopCache,
+    FrontendArtifact,
+    compile_cached,
+    compile_key,
+    frontend_key,
+    get_compile_cache,
+    loop_fingerprint,
+)
 from .executor import (
     ParallelExecutor,
     RunRequest,
     SerialExecutor,
     execute_request,
     make_executor,
+    shared_executor,
 )
 from .passes import (
+    BACKEND_PIPELINE,
     DEFAULT_PIPELINE,
+    FRONTEND_PIPELINE,
     Pass,
     PassManager,
     available_passes,
@@ -47,9 +61,15 @@ from .passes import (
 from .session import Session
 
 __all__ = [
+    "BACKEND_PIPELINE",
     "DEFAULT_PIPELINE",
+    "FRONTEND_PIPELINE",
     "CompilationArtifact",
+    "CompileCacheStats",
     "CompileOptions",
+    "CompiledLoopCache",
+    "FrontendArtifact",
+    "KeyedFileStore",
     "ParallelExecutor",
     "Pass",
     "PassManager",
@@ -62,13 +82,19 @@ __all__ = [
     "available_passes",
     "cache_key",
     "code_fingerprint",
+    "compile_cached",
+    "compile_key",
     "decode_result",
     "default_pass_manager",
     "encode_result",
     "execute_request",
+    "frontend_key",
+    "get_compile_cache",
     "get_pass",
+    "loop_fingerprint",
     "make_executor",
     "make_policy",
     "register_pass",
     "result_fingerprint",
+    "shared_executor",
 ]

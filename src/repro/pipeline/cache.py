@@ -28,14 +28,26 @@ from ..sim.stats import ProgramResult
 
 
 def _canonical(value):
-    """Reduce a value to JSON-able primitives, deterministically."""
+    """Reduce a value to JSON-able primitives, deterministically.
+
+    Dataclass fields carrying ``metadata={"no_cache_key": True}`` are
+    excluded: they tune *how* a run executes (worker counts, cache
+    directories) without changing *what* it computes, so two requests
+    differing only there must share a cache entry.
+    """
     if isinstance(value, enum.Enum):
         return value.name
     if is_dataclass(value) and not isinstance(value, type):
-        return {f.name: _canonical(getattr(value, f.name)) for f in fields(value)}
+        return {
+            f.name: _canonical(getattr(value, f.name))
+            for f in fields(value)
+            if not f.metadata.get("no_cache_key")
+        }
     if isinstance(value, dict):
         items = {str(_canonical(k)): _canonical(v) for k, v in value.items()}
         return dict(sorted(items.items()))
+    if isinstance(value, (frozenset, set)):
+        return sorted(str(_canonical(v)) for v in value)
     if isinstance(value, (list, tuple)):
         return [_canonical(v) for v in value]
     if value is None or isinstance(value, (bool, int, float, str)):
@@ -133,69 +145,108 @@ def result_fingerprint(result: ProgramResult) -> str:
     return json.dumps(encode_result(result), sort_keys=True, separators=(",", ":"))
 
 
+def _is_key(stem: str) -> bool:
+    """Whether a filename stem is one of our sha256 content keys."""
+    return len(stem) == 64 and all(c in "0123456789abcdef" for c in stem)
+
+
+class KeyedFileStore:
+    """On-disk store of content-keyed entries, shared by the result and
+    compile caches: one ``<key><suffix>`` file per entry.
+
+    Concurrency contract (multiple processes may share one directory):
+    writes go to a per-process tmp name and are installed by atomic
+    rename, so readers never see a half-written entry; a torn, corrupt
+    or vanished entry decodes as a miss (and is dropped), never a
+    crash; ``clear()`` removes only key-named files this store could
+    have written, tolerating entries another process unlinked first.
+    """
+
+    def __init__(self, path: str | Path, suffix: str, encode, decode) -> None:
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self.suffix = suffix
+        self._encode = encode  # value -> bytes
+        self._decode = decode  # bytes -> value (raises on corruption)
+
+    def _file(self, key: str) -> Path:
+        return self.path / f"{key}{self.suffix}"
+
+    def load(self, key: str):
+        file = self._file(key)
+        if not file.exists():
+            return None
+        try:
+            return self._decode(file.read_bytes())
+        except Exception:
+            # Treat as a miss and drop the entry so a fresh value can
+            # overwrite it (OSError covers races with concurrent clear()).
+            try:
+                file.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return None
+
+    def save(self, key: str, value) -> None:
+        # Persistence is best-effort: callers already serve the value
+        # from memory, so a disk failure must not abort the sweep.
+        tmp = self.path / f".{key}.{os.getpid()}.tmp"
+        try:
+            tmp.write_bytes(self._encode(value))
+            tmp.replace(self._file(key))
+        except OSError:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+    def clear(self) -> None:
+        """Remove all entries — only files this store wrote, never the
+        directory's unrelated contents."""
+        for file in self.path.glob(f"*{self.suffix}"):
+            if _is_key(file.stem):
+                file.unlink(missing_ok=True)
+        # Orphaned tmp files from writers killed mid-save.
+        for tmp in self.path.glob(".*.tmp"):
+            if _is_key(tmp.name[1:].split(".")[0]):
+                tmp.unlink(missing_ok=True)
+
+
+def _encode_result_bytes(result: ProgramResult) -> bytes:
+    return json.dumps(encode_result(result), sort_keys=True).encode()
+
+
+def _decode_result_bytes(data: bytes) -> ProgramResult:
+    return decode_result(json.loads(data.decode()))
+
+
 class ResultCache:
     """In-memory result cache with an optional on-disk JSON store."""
 
     def __init__(self, path: str | Path | None = None) -> None:
         self._memory: dict[str, ProgramResult] = {}
         self.path = Path(path) if path is not None else None
-        if self.path is not None:
-            self.path.mkdir(parents=True, exist_ok=True)
-
-    def _file(self, key: str) -> Path:
-        assert self.path is not None
-        return self.path / f"{key}.json"
+        self._store = (
+            KeyedFileStore(path, ".json", _encode_result_bytes, _decode_result_bytes)
+            if path is not None
+            else None
+        )
 
     def get(self, key: str) -> ProgramResult | None:
         result = self._memory.get(key)
-        if result is None and self.path is not None:
-            file = self._file(key)
-            if file.exists():
-                try:
-                    result = decode_result(json.loads(file.read_text()))
-                except (ValueError, TypeError, OSError):
-                    # A torn/corrupt/unreadable store entry is a miss, not
-                    # a crash: drop it so a fresh simulation can overwrite
-                    # it (OSError covers races with concurrent clear()).
-                    try:
-                        file.unlink(missing_ok=True)
-                    except OSError:
-                        pass
-                else:
-                    self._memory[key] = result
+        if result is None and self._store is not None:
+            result = self._store.load(key)
+            if result is not None:
+                self._memory[key] = result
         return result
 
     def put(self, key: str, result: ProgramResult) -> None:
         self._memory[key] = result
-        if self.path is not None:
-            file = self._file(key)
-            # Per-process tmp name + atomic rename, so concurrent writers
-            # sharing a cache dir never install a half-written entry.
-            # Persistence is best-effort: the result is already served
-            # from memory, so a disk failure must not abort the sweep.
-            tmp = self.path / f".{key}.{os.getpid()}.tmp"
-            try:
-                tmp.write_text(json.dumps(encode_result(result), sort_keys=True))
-                tmp.replace(file)
-            except OSError:
-                try:
-                    tmp.unlink(missing_ok=True)
-                except OSError:
-                    pass
+        if self._store is not None:
+            self._store.save(key, result)
 
     def clear(self) -> None:
-        """Drop all entries — only files this cache wrote, never the
-        directory's unrelated contents."""
+        """Drop all entries — only files this cache wrote."""
         self._memory.clear()
-        if self.path is None:
-            return
-        def _is_key(stem: str) -> bool:
-            return len(stem) == 64 and all(c in "0123456789abcdef" for c in stem)
-
-        for file in self.path.glob("*.json"):
-            if _is_key(file.stem):
-                file.unlink()
-        # Orphaned tmp files from writers killed mid-put.
-        for tmp in self.path.glob(".*.tmp"):
-            if _is_key(tmp.name[1:].split(".")[0]):
-                tmp.unlink()
+        if self._store is not None:
+            self._store.clear()

@@ -1,0 +1,292 @@
+"""Content-addressed cache of compile artifacts.
+
+Compilation is deterministic: one ``(loop, MachineConfig,
+CompileOptions)`` triple always produces the same ``CompiledLoop``.
+Multi-architecture sweeps therefore recompile identical inputs dozens of
+times — Figure 5 alone compiles every loop once per L0 size even though
+the sizes only differ in the *backend* of the pipeline.  This module
+memoises at both granularities:
+
+* **Full artifacts** — ``CompiledLoop`` keyed by a content hash of the
+  whole triple (plus the code fingerprint), with the same in-memory +
+  optional on-disk layout as :class:`~repro.pipeline.cache.ResultCache`
+  (one file per key, atomic writes, corrupt entry == miss).  The disk
+  store uses pickle: a ``CompiledLoop`` is a closed graph of plain
+  dataclasses and round-trips exactly.
+* **Frontend artifacts** — the products of the architecture-agnostic
+  prefix of the pipeline (``select-unroll`` … ``build-ddg``), keyed only
+  by the loop, the *core* machine parameters those passes read, and the
+  forced unroll factor.  Configs differing in backend parameters (L0
+  size, bus counts, distributed-L1 latencies, …) share one entry, so a
+  Figure-5 sweep runs the unroll/memdep/DDG stages once per loop, not
+  once per L0 size.
+
+Both layers store *pickled bytes*, not live objects: every hit
+deserialises a private object graph, so callers may freely mutate what
+they get back (the schedule-validation tests deliberately corrupt
+schedules) without poisoning the cache.  A round-trip costs a fraction
+of a backend schedule.  ``cache.stats`` counts hits/misses at both
+layers so tests can assert "a repeated sweep recompiles nothing".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..ir.ddg import DDG
+from ..ir.loop import Loop
+from ..ir.memdep import MemDepInfo
+from ..machine.config import MachineConfig
+from .artifact import CompilationArtifact, CompileOptions
+from .cache import KeyedFileStore, _canonical, code_fingerprint
+
+#: MachineConfig fields the frontend passes read.  ``select-unroll``
+#: estimates compute time from the resource MII (cluster count + FU mix)
+#: and the recurrence MII (op latencies, L1 load latency); ``build-ddg``
+#: reads fixed op latencies.  Nothing in the prefix touches the memory
+#: subsystem — keep this list in sync if a frontend pass grows a new
+#: config dependency.
+FRONTEND_CONFIG_FIELDS: tuple[str, ...] = (
+    "n_clusters",
+    "int_units_per_cluster",
+    "mem_units_per_cluster",
+    "fp_units_per_cluster",
+    "l1_latency",
+    "op_latencies",
+)
+
+
+def loop_fingerprint(loop: Loop) -> dict:
+    """Canonical (JSON-able) rendering of a loop's full content."""
+    return _canonical(loop)
+
+
+def _digest(payload: dict) -> str:
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def compile_key(loop: Loop, config: MachineConfig, options: CompileOptions) -> str:
+    """Content hash identifying one full compilation."""
+    return _digest(
+        {
+            "code": code_fingerprint(),
+            "loop": loop_fingerprint(loop),
+            "config": _canonical(config),
+            "options": _canonical(options),
+        }
+    )
+
+
+def frontend_key(loop: Loop, config: MachineConfig, options: CompileOptions) -> str:
+    """Content hash of the inputs the frontend passes actually consume."""
+    return _digest(
+        {
+            "code": code_fingerprint(),
+            "loop": loop_fingerprint(loop),
+            "config": {
+                name: _canonical(getattr(config, name))
+                for name in FRONTEND_CONFIG_FIELDS
+            },
+            "unroll_factor": options.unroll_factor,
+        }
+    )
+
+
+@dataclass(frozen=True)
+class FrontendArtifact:
+    """Products of the architecture-agnostic pipeline prefix."""
+
+    unroll_factor: int
+    body: Loop
+    dep_info: MemDepInfo
+    ddg: DDG
+
+
+@dataclass
+class CompileCacheStats:
+    """Hit/miss counters at both cache granularities."""
+
+    full_hits: int = 0
+    full_misses: int = 0
+    frontend_hits: int = 0
+    frontend_misses: int = 0
+
+    @property
+    def compilations(self) -> int:
+        """Backend compilations performed (== full misses)."""
+        return self.full_misses
+
+
+def _probed_pickle(data: bytes) -> bytes:
+    """Disk decode for the artifact store: probe, then keep the bytes.
+
+    The in-memory layer stores pickled bytes (each hit deserialises a
+    private copy), so disk entries stay as bytes too; the probe load
+    makes a torn write raise — and therefore count as a miss — at read
+    time instead of at first use.
+    """
+    pickle.loads(data)
+    return data
+
+
+class CompiledLoopCache:
+    """In-memory compile-artifact cache with an optional pickle store.
+
+    Mirrors :class:`~repro.pipeline.cache.ResultCache`'s layout (via the
+    shared :class:`~repro.pipeline.cache.KeyedFileStore`): memory first,
+    one ``<key>.pkl`` file per full artifact under ``path``, atomic
+    per-process tmp writes, and a torn/corrupt/vanished entry is a
+    miss, never a crash.  Frontend artifacts stay in-memory only —
+    their value is intra-sweep sharing, and they are cheap relative to
+    the backend schedule they feed.
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self._artifacts: dict[str, bytes] = {}
+        self._frontends: dict[str, bytes] = {}
+        self.stats = CompileCacheStats()
+        self.path = Path(path) if path is not None else None
+        self._store = (
+            KeyedFileStore(path, ".pkl", lambda blob: blob, _probed_pickle)
+            if path is not None
+            else None
+        )
+
+    # -- full artifacts -------------------------------------------------
+
+    def get(self, key: str):
+        blob = self._artifacts.get(key)
+        if blob is None and self._store is not None:
+            blob = self._store.load(key)
+            if blob is not None:
+                self._artifacts[key] = blob
+        if blob is None:
+            return None
+        return pickle.loads(blob)
+
+    def put(self, key: str, compiled) -> None:
+        blob = pickle.dumps(compiled)
+        self._artifacts[key] = blob
+        if self._store is not None:
+            self._store.save(key, blob)
+
+    # -- frontend artifacts ---------------------------------------------
+
+    def get_frontend(self, key: str) -> FrontendArtifact | None:
+        blob = self._frontends.get(key)
+        return None if blob is None else pickle.loads(blob)
+
+    def put_frontend(self, key: str, front: FrontendArtifact) -> None:
+        self._frontends[key] = pickle.dumps(front)
+
+    # -- maintenance ----------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop all entries — only files this cache wrote."""
+        self._artifacts.clear()
+        self._frontends.clear()
+        if self._store is not None:
+            self._store.clear()
+
+
+def compile_cached(
+    loop: Loop,
+    config: MachineConfig,
+    options: CompileOptions | None = None,
+    *,
+    cache: CompiledLoopCache | None = None,
+):
+    """Compile a loop through the cache (the hot compile path).
+
+    Consults the full-artifact layer first; on a miss, reuses (or
+    produces) the shared frontend artifact, then runs only the backend
+    passes.  Returns the legacy ``CompiledLoop``.
+    """
+    from .passes import FRONTEND_PIPELINE
+
+    options = options or CompileOptions()
+    cache = cache if cache is not None else get_compile_cache(None)
+
+    key = compile_key(loop, config, options)
+    compiled = cache.get(key)
+    if compiled is not None:
+        cache.stats.full_hits += 1
+        return compiled
+    cache.stats.full_misses += 1
+
+    artifact = CompilationArtifact(loop=loop, config=config, options=options)
+    fkey = frontend_key(loop, config, options)
+    front = cache.get_frontend(fkey)
+    if front is not None:
+        cache.stats.frontend_hits += 1
+        artifact.unroll_factor = front.unroll_factor
+        artifact.body = front.body
+        artifact.dep_info = front.dep_info
+        artifact.ddg = front.ddg
+        artifact.trace.extend(FRONTEND_PIPELINE)
+    else:
+        cache.stats.frontend_misses += 1
+        _frontend_manager().resume(artifact)
+        assert artifact.unroll_factor is not None
+        assert artifact.body is not None
+        assert artifact.dep_info is not None
+        assert artifact.ddg is not None
+        cache.put_frontend(
+            fkey,
+            FrontendArtifact(
+                unroll_factor=artifact.unroll_factor,
+                body=artifact.body,
+                dep_info=artifact.dep_info,
+                ddg=artifact.ddg,
+            ),
+        )
+    _backend_manager().resume(artifact)
+    compiled = artifact.compiled()
+    cache.put(key, compiled)
+    return compiled
+
+
+_FRONTEND_MANAGER: "PassManager | None" = None  # noqa: F821
+_BACKEND_MANAGER: "PassManager | None" = None  # noqa: F821
+
+
+def _frontend_manager():
+    global _FRONTEND_MANAGER
+    if _FRONTEND_MANAGER is None:
+        from .passes import FRONTEND_PIPELINE, PassManager
+
+        _FRONTEND_MANAGER = PassManager(FRONTEND_PIPELINE)
+    return _FRONTEND_MANAGER
+
+
+def _backend_manager():
+    global _BACKEND_MANAGER
+    if _BACKEND_MANAGER is None:
+        from .passes import BACKEND_PIPELINE, PassManager
+
+        _BACKEND_MANAGER = PassManager(
+            BACKEND_PIPELINE,
+            assume=("unroll_factor", "body", "dep_info", "ddg"),
+        )
+    return _BACKEND_MANAGER
+
+
+#: Process-wide cache instances, one per directory (None == memory-only).
+#: Worker processes build their own registry lazily, so parallel sweeps
+#: sharing a directory share the disk layer while keeping private memory.
+_CACHES: dict[str | None, CompiledLoopCache] = {}
+
+
+def get_compile_cache(path: str | Path | None = None) -> CompiledLoopCache:
+    """The shared compile cache for ``path`` (created on first use)."""
+    key = str(path) if path is not None else None
+    cache = _CACHES.get(key)
+    if cache is None:
+        cache = CompiledLoopCache(path)
+        _CACHES[key] = cache
+    return cache

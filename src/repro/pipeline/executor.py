@@ -43,22 +43,24 @@ def execute_request(request: RunRequest) -> ProgramResult:
 
 
 class SerialExecutor:
-    """Runs requests one after another in this process."""
+    """Runs jobs one after another in this process."""
 
     workers = 1
 
-    def map(self, requests) -> list[ProgramResult]:
-        return [execute_request(r) for r in requests]
+    def map(self, requests, fn=execute_request) -> list:
+        return [fn(r) for r in requests]
 
 
 class ParallelExecutor:
-    """Fans requests out across worker processes.
+    """Fans jobs out across worker processes.
 
-    Results come back in request order (``ProcessPoolExecutor.map``), so
-    swapping this in for :class:`SerialExecutor` changes wall-clock time
-    and nothing else.  The pool is created lazily and reused across
-    batches — one worker startup per sweep, not per figure (this matters
-    on spawn-based platforms, where each worker re-imports the package).
+    ``fn`` must be a module-level (picklable) callable; jobs cross the
+    process boundary pickled.  Results come back in request order
+    (``ProcessPoolExecutor.map``), so swapping this in for
+    :class:`SerialExecutor` changes wall-clock time and nothing else.
+    The pool is created lazily and reused across batches — one worker
+    startup per sweep, not per figure (this matters on spawn-based
+    platforms, where each worker re-imports the package).
     """
 
     def __init__(self, workers: int | None = None) -> None:
@@ -71,11 +73,11 @@ class ParallelExecutor:
             atexit.register(self.shutdown)
         return self._pool
 
-    def map(self, requests) -> list[ProgramResult]:
+    def map(self, requests, fn=execute_request) -> list:
         requests = list(requests)
         if len(requests) <= 1 or self.workers <= 1:
-            return SerialExecutor().map(requests)
-        return list(self._get_pool().map(execute_request, requests))
+            return SerialExecutor().map(requests, fn)
+        return list(self._get_pool().map(fn, requests))
 
     def shutdown(self) -> None:
         if self._pool is not None:
@@ -90,3 +92,23 @@ def make_executor(workers: int | None):
     if workers < 0:
         return ParallelExecutor()
     return ParallelExecutor(workers)
+
+
+_SHARED_POOLS: dict[int, ParallelExecutor] = {}
+
+
+def shared_executor(workers: int | None):
+    """Like :func:`make_executor`, but parallel executors are process-wide
+    singletons keyed by resolved worker count, so repeated callers (e.g.
+    ``run_program`` once per benchmark x config of a sweep) reuse one
+    pool instead of leaking one per call.  Serial executors are
+    stateless and created fresh.
+    """
+    if workers is None or workers in (0, 1):
+        return SerialExecutor()
+    resolved = (os.cpu_count() or 1) if workers < 0 else workers
+    executor = _SHARED_POOLS.get(resolved)
+    if executor is None:
+        executor = ParallelExecutor(resolved)
+        _SHARED_POOLS[resolved] = executor
+    return executor

@@ -173,24 +173,44 @@ DEFAULT_PIPELINE: tuple[str, ...] = (
     "modulo-schedule",
 )
 
+#: The architecture-agnostic prefix of the flow: unroll choice through
+#: DDG construction.  These stages read only the core parameters of the
+#: machine (cluster count, FU mix, op/L1 latencies), never the memory
+#: subsystem, which is what lets the compile cache share their products
+#: across every L0 size of a Figure-5 sweep.
+FRONTEND_PIPELINE: tuple[str, ...] = DEFAULT_PIPELINE[:4]
+
+#: The architecture-specific suffix: policy selection + modulo
+#: scheduling (where L0 candidate assignment happens).
+BACKEND_PIPELINE: tuple[str, ...] = DEFAULT_PIPELINE[4:]
+
 
 class PassManager:
     """An ordered, validated sequence of passes.
 
     Accepts pass names (resolved in the registry) or :class:`Pass`
     objects; validates at construction that each pass's ``requires`` is
-    covered by the union of earlier passes' ``provides``.
+    covered by the union of earlier passes' ``provides``.  ``assume``
+    names products an incoming artifact is expected to already carry —
+    it lets a manager holding only the tail of a pipeline (e.g. the
+    backend passes resumed over a cached frontend artifact) validate.
     """
 
-    def __init__(self, passes: Sequence[str | Pass] | None = None) -> None:
+    def __init__(
+        self,
+        passes: Sequence[str | Pass] | None = None,
+        *,
+        assume: Iterable[str] = (),
+    ) -> None:
         chosen = DEFAULT_PIPELINE if passes is None else passes
         self.passes: tuple[Pass, ...] = tuple(
             p if isinstance(p, Pass) else get_pass(p) for p in chosen
         )
+        self.assume = frozenset(assume)
         self._validate()
 
     def _validate(self) -> None:
-        provided: set[str] = set()
+        provided: set[str] = set(self.assume)
         for p in self.passes:
             missing = set(p.requires) - provided
             if missing:
@@ -213,6 +233,15 @@ class PassManager:
         artifact = CompilationArtifact(
             loop=loop, config=config, options=options or CompileOptions()
         )
+        return self.resume(artifact)
+
+    def resume(self, artifact: CompilationArtifact) -> CompilationArtifact:
+        """Run this manager's passes over an existing artifact.
+
+        Used to continue a pipeline from a cached prefix: the artifact
+        already carries the products the earlier (skipped) passes would
+        have produced; each pass still checks its own ``requires``.
+        """
         for p in self.passes:
             p(artifact)
         return artifact

@@ -88,11 +88,16 @@ def compile_loop(
     ``unroll_factor=None`` applies the paper's static unroll heuristic;
     pass 1 or N to force a factor (used by tests and ablations).
 
-    Thin wrapper over the default pass pipeline; build a custom
-    :class:`repro.pipeline.PassManager` to change the flow itself.
+    Thin wrapper over the cached pass pipeline
+    (:func:`repro.pipeline.compile_cached`): repeated compilations of an
+    identical (loop, config, options) triple are served from the
+    process-wide compile cache, and configs differing only in backend
+    parameters share the unroll/memdep/DDG frontend stages.  Build a
+    custom :class:`repro.pipeline.PassManager` to change the flow
+    itself.
     """
     from ..pipeline.artifact import CompileOptions
-    from ..pipeline.passes import default_pass_manager
+    from ..pipeline.compilecache import compile_cached
 
     options = CompileOptions(
         unroll_factor=unroll_factor,
@@ -101,4 +106,4 @@ def compile_loop(
         allow_psr=allow_psr,
         prefetch_distance=prefetch_distance,
     )
-    return default_pass_manager().run(loop, config, options).compiled()
+    return compile_cached(loop, config, options)

@@ -51,6 +51,40 @@ def loops_may_conflict(prev: Loop, nxt: Loop) -> bool:
     return False
 
 
+def invocation_flush_needed(loop: Loop) -> bool:
+    """Whether the L0 must be flushed *between invocations* of one loop.
+
+    Between two invocations of the same loop, the only stale-read hazard
+    is a load hitting an entry that a store — possibly issued from a
+    different cluster — wrote under in the previous invocation.  That
+    requires the loop to re-read data it stores: a load pattern aliasing
+    a store pattern.  Loops that only stream (loads and stores over
+    provably disjoint arrays) keep their buffers warm across
+    invocations; stores to data the loop never loads cannot be read
+    stale by the loop itself.
+
+    Note this is deliberately *not* ``loops_may_conflict(loop, loop)``:
+    that predicate also flags store-vs-store and store-vs-load pairs,
+    which matter between *different* loops (a stale entry masking a
+    later store's value) but within one loop are already handled by the
+    compiler's coherence schemes (1C/NL0/PSR) that the tests hold to
+    zero violations.
+    """
+    stores = loop.stores
+    for ld in loop.loads:
+        lp = ld.pattern
+        assert lp is not None
+        for st in stores:
+            sp = st.pattern
+            assert sp is not None
+            same = sp.array.name == lp.array.name
+            if not same and not loop.may_alias_arrays(sp.array.name, lp.array.name):
+                continue
+            if patterns_may_alias(sp, lp, same_array=same) or not same:
+                return True
+    return False
+
+
 def flush_needed(prev: Loop | None, nxt: Loop | None) -> bool:
     """Flush policy between two consecutive loops (None = program edge).
 

@@ -2,7 +2,34 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, is_dataclass
+
+
+def merge_stats(into, other):
+    """Sum ``other``'s counters into ``into`` (recursively, in place).
+
+    The memory subsystems' statistics records are nested dataclasses of
+    numeric counters (derived quantities like hit rates are properties).
+    The two-phase program runner simulates each loop against a private
+    memory instance and stitches the per-loop statistics into one
+    program-level record with this.
+    """
+    if type(into) is not type(other):
+        raise TypeError(
+            f"cannot merge {type(other).__name__} into {type(into).__name__}"
+        )
+    for f in fields(into):
+        a = getattr(into, f.name)
+        b = getattr(other, f.name)
+        if is_dataclass(a) and not isinstance(a, type):
+            merge_stats(a, b)
+        elif isinstance(a, (int, float)):
+            setattr(into, f.name, a + b)
+        else:
+            raise TypeError(
+                f"stats field {f.name!r} is not mergeable ({type(a).__name__})"
+            )
+    return into
 
 
 @dataclass

@@ -1,0 +1,173 @@
+"""Tests for the compile-artifact cache (pipeline/compilecache.py)."""
+
+import pickle
+
+import pytest
+
+from repro.isa import MemoryLayout
+from repro.machine import l0_config, unified_config
+from repro.pipeline import (
+    CompileOptions,
+    CompiledLoopCache,
+    PassManager,
+    compile_cached,
+    compile_key,
+    frontend_key,
+)
+from repro.scheduler import compile_loop
+from repro.sim import LoopExecutor, make_memory
+from repro.workloads.kernels import make_dpcm, make_saxpy
+
+FIG5_SIZES = (4, 8, 16, None)
+
+
+def _simulate(compiled, config, iterations=64):
+    memory = make_memory(config)
+    layout = MemoryLayout(align=config.l1_block)
+    executor = LoopExecutor(compiled, memory, layout)
+    return executor.run(iterations)
+
+
+class TestKeys:
+    def test_full_key_stable_across_equal_inputs(self):
+        assert compile_key(
+            make_saxpy(), l0_config(8), CompileOptions()
+        ) == compile_key(make_saxpy(), l0_config(8), CompileOptions())
+
+    def test_full_key_sensitive_to_loop_config_and_options(self):
+        base = compile_key(make_saxpy(), l0_config(8), CompileOptions())
+        assert compile_key(make_dpcm(), l0_config(8), CompileOptions()) != base
+        assert compile_key(make_saxpy(), l0_config(4), CompileOptions()) != base
+        assert (
+            compile_key(make_saxpy(), l0_config(8), CompileOptions(allow_psr=True))
+            != base
+        )
+
+    def test_frontend_key_shared_across_backend_parameters(self):
+        """The unroll/memdep/DDG prefix does not read the memory system:
+        every Figure-5 L0 size — and the unified baseline — share it."""
+        base = frontend_key(make_saxpy(), l0_config(8), CompileOptions())
+        for entries in (4, 16, None):
+            assert frontend_key(make_saxpy(), l0_config(entries), CompileOptions()) == base
+        assert frontend_key(make_saxpy(), unified_config(), CompileOptions()) == base
+
+    def test_frontend_key_sensitive_to_core_parameters(self):
+        base = frontend_key(make_saxpy(), l0_config(8), CompileOptions())
+        assert (
+            frontend_key(make_saxpy(), l0_config(8, n_clusters=2), CompileOptions())
+            != base
+        )
+        assert (
+            frontend_key(make_saxpy(), l0_config(8, l1_latency=9), CompileOptions())
+            != base
+        )
+        assert (
+            frontend_key(
+                make_saxpy(), l0_config(8), CompileOptions(unroll_factor=1)
+            )
+            != base
+        )
+
+
+class TestCacheSemantics:
+    def test_fig5_sweep_compiles_frontend_once(self):
+        cache = CompiledLoopCache()
+        for entries in FIG5_SIZES:
+            compile_cached(make_saxpy(), l0_config(entries), cache=cache)
+        assert cache.stats.frontend_misses == 1
+        assert cache.stats.frontend_hits == len(FIG5_SIZES) - 1
+        assert cache.stats.full_misses == len(FIG5_SIZES)
+
+    def test_repeated_sweep_recompiles_nothing(self):
+        cache = CompiledLoopCache()
+        for entries in FIG5_SIZES:
+            compile_cached(make_saxpy(), l0_config(entries), cache=cache)
+        compilations = cache.stats.compilations
+        frontend_misses = cache.stats.frontend_misses
+        for entries in FIG5_SIZES:
+            compile_cached(make_saxpy(), l0_config(entries), cache=cache)
+        assert cache.stats.compilations == compilations
+        assert cache.stats.frontend_misses == frontend_misses
+        assert cache.stats.full_hits == len(FIG5_SIZES)
+
+    def test_hit_matches_fresh_compilation(self):
+        cache = CompiledLoopCache()
+        first = compile_cached(make_dpcm(), l0_config(8), cache=cache)
+        hit = compile_cached(make_dpcm(), l0_config(8), cache=cache)
+        assert hit.ii == first.ii
+        assert hit.unroll_factor == first.unroll_factor
+        assert hit.policy_name == first.policy_name
+        assert hit.schedule.validate(hit.ddg) == []
+
+    def test_hits_hand_out_private_objects(self):
+        """Mutating a served artifact must not poison the cache (the
+        schedule-validation tests corrupt schedules on purpose)."""
+        cache = CompiledLoopCache()
+        first = compile_cached(make_saxpy(), unified_config(), cache=cache)
+        uid = next(iter(first.schedule.placed))
+        del first.schedule.placed[uid]  # corrupt the caller's copy
+        again = compile_cached(make_saxpy(), unified_config(), cache=cache)
+        assert again.schedule.validate(again.ddg) == []
+
+    def test_compile_loop_wrapper_equivalent_to_pass_manager(self):
+        loop = make_saxpy()
+        config = l0_config(8)
+        artifact = PassManager().run(loop, config)
+        compiled = compile_loop(loop, config)
+        assert compiled.schedule.ii == artifact.schedule.ii
+        assert compiled.unroll_factor == artifact.unroll_factor
+        assert compiled.policy_name == artifact.policy_name
+
+
+class TestSerialisationRoundTrip:
+    def test_pickle_round_trip_simulates_identically(self):
+        config = l0_config(8)
+        compiled = compile_cached(make_dpcm(), config, cache=CompiledLoopCache())
+        clone = pickle.loads(pickle.dumps(compiled))
+        assert clone.ii == compiled.ii
+        assert clone.unroll_factor == compiled.unroll_factor
+        assert clone.schedule.validate(clone.ddg) == []
+        a = _simulate(compiled, config)
+        b = _simulate(clone, config)
+        assert (a.compute_cycles, a.stall_cycles, a.late_loads) == (
+            b.compute_cycles,
+            b.stall_cycles,
+            b.late_loads,
+        )
+
+    def test_disk_store_survives_new_cache(self, tmp_path):
+        config = l0_config(8)
+        warm = CompiledLoopCache(tmp_path)
+        compile_cached(make_saxpy(), config, cache=warm)
+        assert warm.stats.compilations == 1
+
+        reopened = CompiledLoopCache(tmp_path)
+        compiled = compile_cached(make_saxpy(), config, cache=reopened)
+        assert reopened.stats.compilations == 0
+        assert reopened.stats.full_hits == 1
+        assert compiled.schedule.validate(compiled.ddg) == []
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        config = l0_config(8)
+        key = compile_key(make_saxpy(), config, CompileOptions())
+        (tmp_path / f"{key}.pkl").write_bytes(b"torn write")
+        cache = CompiledLoopCache(tmp_path)
+        compiled = compile_cached(make_saxpy(), config, cache=cache)
+        assert cache.stats.compilations == 1  # recompiled, no crash
+        assert compiled.schedule.validate(compiled.ddg) == []
+        # ... and the fresh artifact replaced the corrupt file
+        reopened = CompiledLoopCache(tmp_path)
+        compile_cached(make_saxpy(), config, cache=reopened)
+        assert reopened.stats.compilations == 0
+
+    def test_clear_touches_only_cache_entries(self, tmp_path):
+        cache = CompiledLoopCache(tmp_path)
+        compile_cached(make_saxpy(), l0_config(8), cache=cache)
+        user_file = tmp_path / "notes.pkl"
+        user_file.write_bytes(b"mine")
+        cache.clear()
+        assert user_file.exists()
+        assert not list(tmp_path.glob("[0-9a-f]" * 8 + "*.pkl"))
+        reopened = CompiledLoopCache(tmp_path)
+        compile_cached(make_saxpy(), l0_config(8), cache=reopened)
+        assert reopened.stats.compilations == 1

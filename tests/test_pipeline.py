@@ -106,6 +106,18 @@ class TestCacheKey:
             "rasta", l0_config(16), SimOptions()
         )
 
+    def test_execution_tuning_knobs_share_entries(self):
+        """loop_workers / compile_cache_dir change how a run executes,
+        never what it computes — they must not split cache keys."""
+        base = cache_key("g721dec", l0_config(8), SimOptions())
+        assert cache_key("g721dec", l0_config(8), SimOptions(loop_workers=4)) == base
+        assert (
+            cache_key(
+                "g721dec", l0_config(8), SimOptions(compile_cache_dir="/tmp/x")
+            )
+            == base
+        )
+
 
 class TestResultCacheRoundTrip:
     def test_encode_decode_preserves_everything(self):
@@ -144,6 +156,23 @@ class TestResultCacheRoundTrip:
         assert not orphan_tmp.exists()
         assert not (tmp_path / f"{request.key}.json").exists()
         assert ResultCache(tmp_path).get(request.key) is None
+
+    def test_clear_tolerates_concurrently_removed_entries(self, tmp_path, monkeypatch):
+        """Two processes clearing one directory race glob vs unlink."""
+        from pathlib import Path
+
+        cache = ResultCache(tmp_path)
+        ghost = tmp_path / f"{'0' * 64}.json"  # matched but never created
+        real_glob = Path.glob
+
+        def racing_glob(self, pattern):
+            results = list(real_glob(self, pattern))
+            if pattern == "*.json":
+                results.append(ghost)
+            return results
+
+        monkeypatch.setattr(Path, "glob", racing_glob)
+        cache.clear()  # must not raise on the vanished entry
 
     def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
         request = RunRequest("gsmdec", unified_config(), FAST)
@@ -215,6 +244,24 @@ class TestExecutorParity:
 
         serial, parallel = rows(None), rows(2)
         assert serial == parallel
+
+
+class TestOptionsWith:
+    def test_merges_compile_kwargs_and_keeps_other_knobs(self):
+        ctx = ExperimentContext(
+            options=SimOptions(
+                sim_cap=99,
+                selective_flush=True,
+                compile_kwargs={"allow_psr": True},
+            ),
+            benchmarks=TWO_BENCHMARKS,
+        )
+        merged = ctx.options_with(prefetch_distance=2)
+        assert merged.compile_kwargs == {"allow_psr": True, "prefetch_distance": 2}
+        assert merged.sim_cap == 99
+        assert merged.selective_flush is True
+        # the context's own options are untouched
+        assert ctx.options.compile_kwargs == {"allow_psr": True}
 
 
 class TestExperimentContextIntegration:
