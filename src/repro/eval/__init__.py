@@ -9,6 +9,7 @@ from .experiments import (
     fig5,
     fig6,
     fig7,
+    scheduler_comparison,
     table1,
     table2,
 )
@@ -17,6 +18,7 @@ from .report import (
     render_fig5,
     render_fig6,
     render_fig7,
+    render_sched_compare,
     render_table1,
     render_table2,
 )
@@ -34,8 +36,10 @@ __all__ = [
     "render_fig5",
     "render_fig6",
     "render_fig7",
+    "render_sched_compare",
     "render_table1",
     "render_table2",
+    "scheduler_comparison",
     "table1",
     "table2",
 ]

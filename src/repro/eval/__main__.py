@@ -5,6 +5,8 @@ Examples::
     python -m repro.eval table1
     python -m repro.eval fig5
     python -m repro.eval fig5 --benchmarks g721dec jpegdec
+    python -m repro.eval fig5 --scheduler exact
+    python -m repro.eval schedcompare --benchmarks gsmenc
     python -m repro.eval all
 """
 
@@ -26,13 +28,24 @@ from . import (
     render_fig5,
     render_fig6,
     render_fig7,
+    render_sched_compare,
     render_table1,
     render_table2,
+    scheduler_comparison,
     table1,
     table2,
 )
 
-EXPERIMENTS = ("table1", "table2", "fig5", "fig6", "fig7", "ablations", "all")
+EXPERIMENTS = (
+    "table1",
+    "table2",
+    "fig5",
+    "fig6",
+    "fig7",
+    "ablations",
+    "schedcompare",
+    "all",
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -76,10 +89,32 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for per-program loop fan-out (default serial; "
         "-1 = all cores); results are byte-identical to serial",
     )
+    parser.add_argument(
+        "--scheduler",
+        choices=("sms", "exact"),
+        default="sms",
+        help="backend scheduling pass every loop compiles with "
+        "(exact = branch-and-bound with SMS fallback)",
+    )
+    parser.add_argument(
+        "--exact-budget",
+        type=int,
+        default=None,
+        help="node budget (placement trials) for the exact scheduler "
+        "before it falls back to SMS",
+    )
     args = parser.parse_args(argv)
 
+    compile_kwargs = {}
+    if args.exact_budget is not None:
+        compile_kwargs["exact_node_budget"] = args.exact_budget
     ctx = ExperimentContext(
-        options=SimOptions(sim_cap=args.sim_cap, loop_workers=args.loop_workers),
+        options=SimOptions(
+            sim_cap=args.sim_cap,
+            loop_workers=args.loop_workers,
+            scheduler=args.scheduler,
+            compile_kwargs=compile_kwargs,
+        ),
         benchmarks=tuple(args.benchmarks) if args.benchmarks else None,
         workers=args.workers,
         cache_dir=args.cache_dir,
@@ -87,7 +122,13 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     started = time.time()
-    todo = EXPERIMENTS[:-1] if args.experiment == "all" else (args.experiment,)
+    # "all" covers the paper's tables/figures; schedcompare is its own
+    # (compile-only, exact-scheduler) report and runs only when asked.
+    todo = (
+        tuple(e for e in EXPERIMENTS if e not in ("all", "schedcompare"))
+        if args.experiment == "all"
+        else (args.experiment,)
+    )
     for experiment in todo:
         if experiment == "table1":
             print(render_table1(table1(ctx)))
@@ -99,6 +140,12 @@ def main(argv: list[str] | None = None) -> int:
             print(render_fig6(fig6(ctx)))
         elif experiment == "fig7":
             print(render_fig7(fig7(ctx)))
+        elif experiment == "schedcompare":
+            print(
+                render_sched_compare(
+                    scheduler_comparison(ctx, exact_node_budget=args.exact_budget)
+                )
+            )
         elif experiment == "ablations":
             print(
                 render_ablation(

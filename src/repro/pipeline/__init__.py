@@ -50,13 +50,16 @@ from .passes import (
     BACKEND_PIPELINE,
     DEFAULT_PIPELINE,
     FRONTEND_PIPELINE,
+    SCHEDULER_PASSES,
     Pass,
     PassManager,
     available_passes,
+    backend_pipeline,
     default_pass_manager,
     get_pass,
     make_policy,
     register_pass,
+    register_scheduler,
 )
 from .session import Session
 
@@ -77,9 +80,11 @@ __all__ = [
     "PipelineError",
     "ResultCache",
     "RunRequest",
+    "SCHEDULER_PASSES",
     "SerialExecutor",
     "Session",
     "available_passes",
+    "backend_pipeline",
     "cache_key",
     "code_fingerprint",
     "compile_cached",
@@ -95,6 +100,7 @@ __all__ = [
     "make_executor",
     "make_policy",
     "register_pass",
+    "register_scheduler",
     "result_fingerprint",
     "shared_executor",
 ]

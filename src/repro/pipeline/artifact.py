@@ -33,6 +33,15 @@ class CompileOptions:
 
     ``unroll_factor=None`` applies the paper's static heuristic; an
     integer forces that factor (tests and ablations).
+
+    ``scheduler`` selects the backend scheduling pass (``"sms"`` — the
+    heuristic engine — or ``"exact"``; see
+    ``repro.pipeline.passes.SCHEDULER_PASSES``).  The ``exact_*`` knobs
+    configure the exact backend's search: a node budget (placement
+    trials before falling back to SMS), an optional stage horizon, and
+    an optional wall-clock budget in seconds (``None`` keeps compiles
+    deterministic; all three are inert under ``scheduler="sms"`` but
+    still participate in compile-cache keys like every other option).
     """
 
     unroll_factor: int | None = None
@@ -40,6 +49,10 @@ class CompileOptions:
     all_candidates: bool = False
     allow_psr: bool = False
     prefetch_distance: int = 1
+    scheduler: str = "sms"
+    exact_node_budget: int = 60_000
+    exact_max_stages: int | None = None
+    exact_time_budget_s: float | None = None
 
 
 @dataclass

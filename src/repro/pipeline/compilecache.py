@@ -207,13 +207,21 @@ def compile_cached(
     produces) the shared frontend artifact, then runs only the backend
     passes.  Returns the legacy ``CompiledLoop``.
     """
-    from .passes import FRONTEND_PIPELINE
+    from .passes import FRONTEND_PIPELINE, backend_pipeline
 
     options = options or CompileOptions()
+    backend_pipeline(options.scheduler)  # fail fast on unknown schedulers
     cache = cache if cache is not None else get_compile_cache(None)
 
+    # A wall-clock search budget makes the exact backend's output depend
+    # on machine load: such artifacts must never be served to (or from)
+    # other runs, so the full-artifact layer is bypassed entirely.  The
+    # frontend products stay cacheable — they are deterministic — and so
+    # is the SMS backend, which never reads the knob.
+    cacheable = options.exact_time_budget_s is None or options.scheduler == "sms"
+
     key = compile_key(loop, config, options)
-    compiled = cache.get(key)
+    compiled = cache.get(key) if cacheable else None
     if compiled is not None:
         cache.stats.full_hits += 1
         return compiled
@@ -245,14 +253,18 @@ def compile_cached(
                 ddg=artifact.ddg,
             ),
         )
-    _backend_manager().resume(artifact)
+    _backend_manager(options.scheduler).resume(artifact)
     compiled = artifact.compiled()
-    cache.put(key, compiled)
+    if cacheable:
+        cache.put(key, compiled)
     return compiled
 
 
 _FRONTEND_MANAGER: "PassManager | None" = None  # noqa: F821
-_BACKEND_MANAGER: "PassManager | None" = None  # noqa: F821
+#: One backend manager per scheduler backend (sms / exact / plug-ins):
+#: the frontend is scheduler-agnostic, so every backend resumes over the
+#: same shared frontend artifacts.
+_BACKEND_MANAGERS: dict[str, "PassManager"] = {}  # noqa: F821
 
 
 def _frontend_manager():
@@ -264,16 +276,17 @@ def _frontend_manager():
     return _FRONTEND_MANAGER
 
 
-def _backend_manager():
-    global _BACKEND_MANAGER
-    if _BACKEND_MANAGER is None:
-        from .passes import BACKEND_PIPELINE, PassManager
+def _backend_manager(scheduler: str = "sms"):
+    manager = _BACKEND_MANAGERS.get(scheduler)
+    if manager is None:
+        from .passes import PassManager, backend_pipeline
 
-        _BACKEND_MANAGER = PassManager(
-            BACKEND_PIPELINE,
+        manager = PassManager(
+            backend_pipeline(scheduler),
             assume=("unroll_factor", "body", "dep_info", "ddg"),
         )
-    return _BACKEND_MANAGER
+        _BACKEND_MANAGERS[scheduler] = manager
+    return manager
 
 
 #: Process-wide cache instances, one per directory (None == memory-only).

@@ -131,7 +131,40 @@ def _modulo_schedule(artifact: CompilationArtifact) -> None:
     """Cluster-aware SMS; the policy performs L0/mapping assignment."""
     from ..scheduler.engine import ClusterScheduler
 
+    # Guard the default pipeline against silently ignoring a scheduler
+    # request: options asking for a different registered backend must
+    # not fall through to SMS.  (Explicitly naming exact-schedule in a
+    # custom sequence remains an explicit choice and is not guarded.)
+    requested = artifact.options.scheduler
+    if SCHEDULER_PASSES.get(requested, "modulo-schedule") != "modulo-schedule":
+        raise PipelineError(
+            f"options request scheduler {requested!r} but this pipeline runs "
+            "'modulo-schedule'; build the pipeline via backend_pipeline"
+            f"({requested!r}) or compile through compile_cached/compile_loop"
+        )
     engine = ClusterScheduler(artifact.ddg, artifact.config, artifact.policy)
+    artifact.schedule = engine.schedule()
+    artifact.schedule.meta.setdefault("scheduler", "sms")
+
+
+@register_pass("exact-schedule", requires=("ddg", "policy"), provides=("schedule",))
+def _exact_schedule(artifact: CompilationArtifact) -> None:
+    """Exact CP/branch-and-bound modulo scheduling (SMS fallback).
+
+    Runs the heuristic engine first (fallback + upper bound), then
+    searches every II in ``[MII, II(SMS) - 1]`` within the configured
+    node/time budget; ``artifact.schedule.meta`` records the outcome.
+    """
+    from ..scheduler.exact import ExactScheduler
+
+    engine = ExactScheduler(
+        artifact.ddg,
+        artifact.config,
+        artifact.policy,
+        node_budget=artifact.options.exact_node_budget,
+        max_stages=artifact.options.exact_max_stages,
+        time_budget_s=artifact.options.exact_time_budget_s,
+    )
     artifact.schedule = engine.schedule()
 
 
@@ -183,6 +216,40 @@ FRONTEND_PIPELINE: tuple[str, ...] = DEFAULT_PIPELINE[:4]
 #: The architecture-specific suffix: policy selection + modulo
 #: scheduling (where L0 candidate assignment happens).
 BACKEND_PIPELINE: tuple[str, ...] = DEFAULT_PIPELINE[4:]
+
+#: Scheduler backends: ``CompileOptions.scheduler`` value -> the name of
+#: the registered pass that provides ``schedule``.  A third backend
+#: plugs in with ``@register_pass("my-schedule", requires=("ddg",
+#: "policy"), provides=("schedule",))`` + ``register_scheduler("mine",
+#: "my-schedule")`` — the compile cache, ``compile_loop(scheduler=...)``
+#: and the eval CLI pick it up through this table.
+SCHEDULER_PASSES: dict[str, str] = {
+    "sms": "modulo-schedule",
+    "exact": "exact-schedule",
+}
+
+
+def register_scheduler(name: str, pass_name: str) -> None:
+    """Expose a registered schedule-providing pass as a scheduler backend."""
+    if name in SCHEDULER_PASSES:
+        raise PipelineError(f"scheduler {name!r} already registered")
+    p = get_pass(pass_name)  # raises for unknown passes
+    if "schedule" not in p.provides:
+        raise PipelineError(
+            f"pass {pass_name!r} does not provide 'schedule'; cannot back a scheduler"
+        )
+    SCHEDULER_PASSES[name] = pass_name
+
+
+def backend_pipeline(scheduler: str = "sms") -> tuple[str, ...]:
+    """The backend pass sequence for one scheduler backend."""
+    try:
+        pass_name = SCHEDULER_PASSES[scheduler]
+    except KeyError:
+        raise PipelineError(
+            f"unknown scheduler {scheduler!r}; registered: {sorted(SCHEDULER_PASSES)}"
+        ) from None
+    return ("select-policy", pass_name)
 
 
 class PassManager:

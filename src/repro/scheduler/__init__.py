@@ -3,6 +3,7 @@
 from .coherence import CoherenceScheme, SetState
 from .driver import CompiledLoop, choose_unroll_factor, compile_loop, estimate_compute_time
 from .engine import ClusterScheduler
+from .exact import ExactScheduler
 from .l0policy import L0Policy
 from .mii import compute_mii, rec_mii, res_mii
 from .mrt import ModuloReservationTable
@@ -22,6 +23,7 @@ __all__ = [
     "CoherenceScheme",
     "CompiledLoop",
     "Direction",
+    "ExactScheduler",
     "InterleavedPolicy",
     "L0Policy",
     "MemoryPolicy",

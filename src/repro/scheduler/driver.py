@@ -82,11 +82,18 @@ def compile_loop(
     all_candidates: bool = False,
     allow_psr: bool = False,
     prefetch_distance: int = 1,
+    scheduler: str = "sms",
+    exact_node_budget: int | None = None,
+    exact_max_stages: int | None = None,
+    exact_time_budget_s: float | None = None,
 ) -> CompiledLoop:
     """Compile one inner loop for one machine configuration.
 
     ``unroll_factor=None`` applies the paper's static unroll heuristic;
     pass 1 or N to force a factor (used by tests and ablations).
+    ``scheduler`` picks the backend scheduling pass: ``"sms"`` (the
+    heuristic engine) or ``"exact"`` (branch-and-bound with SMS
+    fallback; tune it with the ``exact_*`` knobs).
 
     Thin wrapper over the cached pass pipeline
     (:func:`repro.pipeline.compile_cached`): repeated compilations of an
@@ -99,11 +106,19 @@ def compile_loop(
     from ..pipeline.artifact import CompileOptions
     from ..pipeline.compilecache import compile_cached
 
-    options = CompileOptions(
+    kwargs = dict(
         unroll_factor=unroll_factor,
         interleaved_heuristic=interleaved_heuristic,
         all_candidates=all_candidates,
         allow_psr=allow_psr,
         prefetch_distance=prefetch_distance,
+        scheduler=scheduler,
     )
+    if exact_node_budget is not None:
+        kwargs["exact_node_budget"] = exact_node_budget
+    if exact_max_stages is not None:
+        kwargs["exact_max_stages"] = exact_max_stages
+    if exact_time_budget_s is not None:
+        kwargs["exact_time_budget_s"] = exact_time_budget_s
+    options = CompileOptions(**kwargs)
     return compile_cached(loop, config, options)

@@ -51,6 +51,11 @@ class L0Policy:
     """Memory policy for the proposed architecture (unified L1 + L0 buffers)."""
 
     name = "l0"
+    #: Coherence-scheme decisions and candidate re-ranking are sticky
+    #: across ejections (matching the heuristic engine), so a backtracking
+    #: search over this policy's options is sound but not complete — the
+    #: exact scheduler must not claim optimality proofs through it.
+    SEARCH_EXACT = False
 
     #: Buffer entries a load stream occupies in steady state: its current
     #: subblock plus the prefetched next one.  The capacity budget uses

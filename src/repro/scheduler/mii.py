@@ -39,11 +39,23 @@ def res_mii(loop: Loop, config: MachineConfig) -> int:
 
 
 def rec_mii(ddg: DDG, load_latency: LoadLatency, upper: int | None = None) -> int:
-    """Recurrence-constrained MII (1 when the DDG has no recurrences)."""
+    """Recurrence-constrained MII (1 when the DDG has no recurrences).
+
+    ``upper`` is a *probe hint* — where the exponential search for a
+    feasible II starts — never a clamp: a recurrence whose RecMII
+    exceeds the hint (e.g. a caller passing ResMII, as the exact
+    scheduler's deepening loop seeds with) is still resolved exactly by
+    doubling past it.  The default hint is a genuine upper bound: every
+    recurrence traverses each edge at most once, so its total latency —
+    and therefore ``ceil(latency / distance) <= latency`` for distance
+    >= 1 — cannot exceed the sum of all edge latencies.  (The previous
+    default summed only distance-carrying edges, which is *not* an upper
+    bound — a recurrence's latency is dominated by its distance-0 edges
+    whenever the back edge is cheap — and only worked because of the
+    doubling rescue below.)
+    """
     if upper is None:
-        upper = 1 + sum(
-            edge.latency(load_latency) for edge in ddg.edges if edge.distance
-        )
+        upper = 1 + sum(edge.latency(load_latency) for edge in ddg.edges)
     if ddg.earliest_times(1, load_latency) is not None:
         return 1
     lo, hi = 1, max(2, upper)

@@ -65,6 +65,9 @@ class UnifiedPolicy:
     """Baseline: every load is an L1 access; memory ops carry no hints."""
 
     name = "unified"
+    #: Options are a pure function of the instruction (no cross-placement
+    #: state), so the exact scheduler's refutations are complete.
+    SEARCH_EXACT = True
 
     def __init__(self, loop: Loop, config: MachineConfig) -> None:
         self.loop = loop
@@ -106,6 +109,7 @@ class MultiVLIWPolicy:
     """
 
     name = "multivliw"
+    SEARCH_EXACT = True  # stateless options, like UnifiedPolicy
 
     def __init__(self, loop: Loop, config: MachineConfig) -> None:
         self.loop = loop
@@ -153,6 +157,9 @@ class InterleavedPolicy:
     """
 
     name = "interleaved"
+    #: Home classification is precomputed from the loop alone; options
+    #: never depend on what has been placed, so searches are complete.
+    SEARCH_EXACT = True
 
     #: Iterations sampled when classifying an op's home-cluster stability.
     HOME_SAMPLE = 16

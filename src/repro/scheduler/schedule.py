@@ -75,6 +75,12 @@ class ModuloSchedule:
     comms: list[PlacedComm] = field(default_factory=list)
     prefetches: list[PlacedPrefetch] = field(default_factory=list)
     replicas: list[PlacedOp] = field(default_factory=list)
+    #: Scheduler-backend provenance: which backend produced this schedule
+    #: and, for the exact backend, its search outcome (``mii``,
+    #: ``ii_sms``, ``improved``, ``proved_optimal``, ``fallback``,
+    #: ``nodes_explored``).  Purely informational — simulation and
+    #: validation never read it.
+    meta: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.ii < 1:

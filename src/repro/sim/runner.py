@@ -67,6 +67,8 @@ class SimOptions:
     sim_cap: int = 1500  # max kernel iterations simulated per invocation
     warm_invocations: int = 1  # warm invocations simulated before scaling
     compile_kwargs: dict = field(default_factory=dict)
+    #: Scheduler backend every loop compiles with ("sms" or "exact").
+    scheduler: str = "sms"
     #: Skip the end-of-loop L0 flush when the next loop provably touches
     #: disjoint data (paper section 4.1's selective-flushing remark).
     selective_flush: bool = False
@@ -77,6 +79,15 @@ class SimOptions:
     #: process-wide cache only).
     compile_cache_dir: str | None = field(default=None, metadata={"no_cache_key": True})
 
+    def __post_init__(self) -> None:
+        # Normalise the two spellings of the scheduler knob: a
+        # ``scheduler`` entry in ``compile_kwargs`` is hoisted into the
+        # field (winning over it), so equivalent runs share one
+        # content-addressed result-cache key however they were built.
+        if "scheduler" in self.compile_kwargs:
+            self.compile_kwargs = dict(self.compile_kwargs)
+            self.scheduler = self.compile_kwargs.pop("scheduler")
+
 
 def _compile(loop, config: MachineConfig, options: SimOptions) -> CompiledLoop:
     """Compile one loop through the compile-artifact cache."""
@@ -86,7 +97,7 @@ def _compile(loop, config: MachineConfig, options: SimOptions) -> CompiledLoop:
     return compile_cached(
         loop,
         config,
-        CompileOptions(**options.compile_kwargs),
+        CompileOptions(scheduler=options.scheduler, **options.compile_kwargs),
         cache=get_compile_cache(options.compile_cache_dir),
     )
 

@@ -51,6 +51,33 @@ class TestKeys:
             assert frontend_key(make_saxpy(), l0_config(entries), CompileOptions()) == base
         assert frontend_key(make_saxpy(), unified_config(), CompileOptions()) == base
 
+    def test_scheduler_participates_in_full_key(self):
+        """SMS and exact artifacts must never collide in the cache."""
+        base = compile_key(make_saxpy(), l0_config(8), CompileOptions())
+        assert base == compile_key(
+            make_saxpy(), l0_config(8), CompileOptions(scheduler="sms")
+        )
+        assert (
+            compile_key(make_saxpy(), l0_config(8), CompileOptions(scheduler="exact"))
+            != base
+        )
+        # The exact backend's budget knobs are options like any other.
+        assert compile_key(
+            make_saxpy(),
+            l0_config(8),
+            CompileOptions(scheduler="exact", exact_node_budget=7),
+        ) != compile_key(
+            make_saxpy(), l0_config(8), CompileOptions(scheduler="exact")
+        )
+
+    def test_scheduler_does_not_split_the_frontend(self):
+        """Both schedulers resume over one shared frontend artifact."""
+        base = frontend_key(make_saxpy(), l0_config(8), CompileOptions())
+        assert (
+            frontend_key(make_saxpy(), l0_config(8), CompileOptions(scheduler="exact"))
+            == base
+        )
+
     def test_frontend_key_sensitive_to_core_parameters(self):
         base = frontend_key(make_saxpy(), l0_config(8), CompileOptions())
         assert (
@@ -89,6 +116,79 @@ class TestCacheSemantics:
         assert cache.stats.compilations == compilations
         assert cache.stats.frontend_misses == frontend_misses
         assert cache.stats.full_hits == len(FIG5_SIZES)
+
+    def test_sms_and_exact_share_one_frontend_entry(self):
+        """A scheduler sweep behaves like a Figure-5 sweep: one frontend
+        compilation, one backend compilation per scheduler, and a repeat
+        of either scheduler recompiles nothing."""
+        cache = CompiledLoopCache()
+        loop = make_dpcm()
+        config = l0_config(8)
+        sms = compile_cached(loop, config, CompileOptions(scheduler="sms"), cache=cache)
+        assert (cache.stats.frontend_misses, cache.stats.full_misses) == (1, 1)
+        exact = compile_cached(
+            loop, config, CompileOptions(scheduler="exact"), cache=cache
+        )
+        assert cache.stats.frontend_misses == 1  # shared frontend entry
+        assert cache.stats.frontend_hits == 1
+        assert cache.stats.full_misses == 2  # distinct backend artifacts
+        assert cache.stats.full_hits == 0
+        # Artifacts really are the two different backends' outputs.
+        assert sms.schedule.meta["scheduler"] == "sms"
+        assert exact.schedule.meta["scheduler"] == "exact"
+        assert exact.ii <= sms.ii
+        # Repeats of both are pure full-layer hits.
+        compile_cached(loop, config, CompileOptions(scheduler="sms"), cache=cache)
+        compile_cached(loop, config, CompileOptions(scheduler="exact"), cache=cache)
+        assert cache.stats.full_hits == 2
+        assert cache.stats.full_misses == 2
+        assert cache.stats.frontend_misses == 1
+
+    def test_time_budgeted_compiles_bypass_the_full_layer(self):
+        """A wall-clock budget makes the exact backend's output depend on
+        machine load; such artifacts must never be cached (frontend
+        products are deterministic and stay shared)."""
+        cache = CompiledLoopCache()
+        options = CompileOptions(scheduler="exact", exact_time_budget_s=1e6)
+        first = compile_cached(make_saxpy(), l0_config(8), options, cache=cache)
+        again = compile_cached(make_saxpy(), l0_config(8), options, cache=cache)
+        assert cache.stats.full_hits == 0
+        assert cache.stats.compilations == 2  # recompiled both times
+        assert cache.stats.frontend_misses == 1  # frontend still shared
+        assert first.ii == again.ii
+        assert again.schedule.validate(again.ddg) == []
+
+    def test_time_budget_under_sms_stays_cacheable(self):
+        """The SMS backend never reads the wall-clock knob, so it keeps
+        full caching even when the knob is set (e.g. a sweep flipping
+        only the scheduler field)."""
+        cache = CompiledLoopCache()
+        options = CompileOptions(scheduler="sms", exact_time_budget_s=5.0)
+        compile_cached(make_saxpy(), l0_config(8), options, cache=cache)
+        compile_cached(make_saxpy(), l0_config(8), options, cache=cache)
+        assert cache.stats.compilations == 1
+        assert cache.stats.full_hits == 1
+
+    def test_unknown_scheduler_fails_fast(self):
+        from repro.pipeline import PipelineError
+
+        with pytest.raises(PipelineError, match="unknown scheduler"):
+            compile_cached(
+                make_saxpy(),
+                l0_config(8),
+                CompileOptions(scheduler="smt"),
+                cache=CompiledLoopCache(),
+            )
+
+    def test_default_pipeline_rejects_foreign_scheduler_request(self):
+        """PassManager(DEFAULT_PIPELINE) runs the SMS pass; options
+        requesting the exact backend must error, not silently get SMS."""
+        from repro.pipeline import PipelineError
+
+        with pytest.raises(PipelineError, match="backend_pipeline"):
+            PassManager().run(
+                make_saxpy(), l0_config(8), CompileOptions(scheduler="exact")
+            )
 
     def test_hit_matches_fresh_compilation(self):
         cache = CompiledLoopCache()

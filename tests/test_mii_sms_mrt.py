@@ -54,6 +54,50 @@ class TestRecMII:
         ddg = build_ddg(dpcm, CFG)
         assert compute_mii(dpcm, ddg, CFG, L1) == 10
 
+    def test_upper_hint_never_clamps(self, dpcm):
+        """A too-small ``upper`` is a probe hint, not a ceiling.
+
+        The exact scheduler's deepening loop seeds from MII; if a caller
+        passing ResMII (here 1) as the hint could clamp a recurrence
+        whose RecMII (10) exceeds it, the deepening loop would start
+        below the true lower bound and "prove" optimality of an
+        infeasible II.
+        """
+        ddg = build_ddg(dpcm, CFG)
+        assert res_mii(dpcm, CFG) == 1
+        for upper in (1, 2, 5, 9, 10, 11, 1000):
+            assert rec_mii(ddg, L1, upper=upper) == 10
+
+    def test_default_upper_is_a_true_bound(self, dpcm):
+        """The default probe bound must dominate the real RecMII.
+
+        The recurrence's latency lives almost entirely on distance-0
+        edges (load + imul + iadd) with only a cheap distance-1 back
+        edge; a bound summing distance-carrying edges alone (the old
+        default: 2) undercuts the true RecMII of 10 and survives only
+        via the doubling rescue.  The fixed default sums every edge.
+        """
+        ddg = build_ddg(dpcm, CFG)
+        distance_only = 1 + sum(
+            e.latency(L1) for e in ddg.edges if e.distance
+        )
+        all_edges = 1 + sum(e.latency(L1) for e in ddg.edges)
+        true_rec = rec_mii(ddg, L1)
+        assert distance_only < true_rec  # the old "bound" really was wrong
+        assert all_edges >= true_rec
+
+    def test_recurrence_dominates_resources_end_to_end(self, dpcm):
+        """RecMII > ResMII must surface unclamped through compute_mii and
+        the compiled II (the exact backend's deepening seed)."""
+        from repro.scheduler import compile_loop
+
+        ddg = build_ddg(dpcm, CFG)
+        mii = compute_mii(dpcm, ddg, CFG, L1)
+        assert mii == rec_mii(ddg, L1) > res_mii(dpcm, CFG)
+        compiled = compile_loop(dpcm, CFG, unroll_factor=1, scheduler="exact")
+        assert compiled.schedule.meta["mii"] == 10
+        assert compiled.ii >= 10
+
 
 class TestSMSOrder:
     def test_all_nodes_ordered_once(self, saxpy):
