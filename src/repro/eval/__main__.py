@@ -16,6 +16,7 @@ import argparse
 import sys
 import time
 
+from ..cache import parse_size
 from ..sim.runner import SimOptions
 from . import (
     ExperimentContext,
@@ -103,6 +104,13 @@ def main(argv: list[str] | None = None) -> int:
         help="node budget (placement trials) for the exact scheduler "
         "before it falls back to SMS",
     )
+    parser.add_argument(
+        "--gc-max-bytes",
+        type=parse_size,
+        default=None,
+        help="after the run, bound each on-disk cache to this many bytes "
+        "(LRU by last hit; accepts K/M/G suffixes, e.g. 200M)",
+    )
     args = parser.parse_args(argv)
 
     compile_kwargs = {}
@@ -119,6 +127,7 @@ def main(argv: list[str] | None = None) -> int:
         workers=args.workers,
         cache_dir=args.cache_dir,
         compile_cache_dir=args.compile_cache_dir,
+        gc_max_bytes=args.gc_max_bytes,
     )
 
     started = time.time()
@@ -185,9 +194,20 @@ def main(argv: list[str] | None = None) -> int:
         trailer += (
             f", {compile_stats.compilations} compilations "
             f"({compile_stats.full_hits + compile_stats.frontend_hits} "
-            "compile-cache hits)]"
+            f"compile-cache hits, {compile_stats.full_disk_hits} from disk)]"
         )
     print(trailer, file=sys.stderr)
+
+    # Teardown: flush buffered manifest recency and — with
+    # --gc-max-bytes — bound both on-disk stores, so a persisted CI
+    # cache cannot grow without limit (one implementation: the
+    # session's own close()).
+    for report in session.close():
+        print(
+            f"[gc {report.path or 'memory'}: {report.entries_before} -> "
+            f"{report.entries_after} entries, {report.bytes_after} bytes]",
+            file=sys.stderr,
+        )
     return 0
 
 

@@ -1,0 +1,204 @@
+"""CI perf-regression bench: timed cold vs warm smoke evals.
+
+``python -m repro.eval.cibench`` runs the smoke evaluation workload
+twice against one pair of (initially empty) cache directories:
+
+* **cold** — every result is simulated, every loop compiled; times the
+  full pipeline and populates the stores;
+* **warm** — a fresh session over the same directories; on an unchanged
+  tree every result must come back from the disk stores with **zero**
+  simulations, and the figures must be byte-identical to the cold run.
+
+The summary — wall-clock per experiment and phase, simulation counts,
+result/compile cache hit/miss counters — is written as versioned JSON
+(``BENCH_ci.json``) for the CI workflow to upload as an artifact, and
+the process exits non-zero if the warm run simulated anything or
+reproduced different figures: that is the cache-regression tripwire.
+
+The workload is the fig5 smoke subset plus (optionally) the
+``schedcompare`` exact-scheduler oracle on one benchmark, mirroring the
+CI smoke steps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from ..pipeline.cache import code_fingerprint
+from ..pipeline.compilecache import drop_compile_cache, get_compile_cache
+from ..sim.runner import SimOptions
+from .experiments import ExperimentContext, fig5, scheduler_comparison
+
+#: Schema of the emitted summary; bump when the layout changes so
+#: downstream tooling can detect what it is reading.
+BENCH_SCHEMA_VERSION = 1
+
+
+def _compile_counters(cache_dir: str | None) -> dict:
+    stats = get_compile_cache(cache_dir).stats
+    return {
+        "compilations": stats.compilations,
+        "full_hits": stats.full_hits,
+        "full_disk_hits": stats.full_disk_hits,
+        "frontend_hits": stats.frontend_hits,
+        "frontend_misses": stats.frontend_misses,
+    }
+
+
+def _run_phase(
+    root: Path,
+    benchmarks: tuple[str, ...],
+    sched_benchmarks: tuple[str, ...],
+    sim_cap: int,
+) -> tuple[dict, dict]:
+    """One timed pass over the workload; returns (summary, figures)."""
+    result_dir = str(root / "result-cache")
+    compile_dir = str(root / "compile-cache")
+    # Drop the process-wide instance so this phase starts with empty
+    # memory: the warm pass must re-read the *disk* stores, or a broken
+    # persistence layer would hide behind in-process memory hits.
+    drop_compile_cache(compile_dir)
+    before = _compile_counters(compile_dir)
+    timings: dict[str, float] = {}
+    figures: dict[str, object] = {}
+
+    started = time.perf_counter()
+    ctx = ExperimentContext(
+        options=SimOptions(sim_cap=sim_cap),
+        benchmarks=benchmarks,
+        cache_dir=result_dir,
+        compile_cache_dir=compile_dir,
+    )
+    t0 = time.perf_counter()
+    figures["fig5"] = fig5(ctx)
+    timings["fig5_s"] = time.perf_counter() - t0
+    simulations = ctx.session.simulations
+    cache_hits = ctx.session.cache_hits
+    ctx.session.close()
+
+    if sched_benchmarks:
+        sched_ctx = ExperimentContext(
+            options=SimOptions(sim_cap=sim_cap),
+            benchmarks=sched_benchmarks,
+            cache_dir=result_dir,
+            compile_cache_dir=compile_dir,
+        )
+        t0 = time.perf_counter()
+        figures["schedcompare"] = scheduler_comparison(sched_ctx)
+        timings["schedcompare_s"] = time.perf_counter() - t0
+        # Fold this session's counters in too: the zero-simulations
+        # tripwire must cover every session the phase ran, not just
+        # fig5's (schedcompare is compile-only today, but a future
+        # simulating workload must not slip past the check).
+        simulations += sched_ctx.session.simulations
+        cache_hits += sched_ctx.session.cache_hits
+        sched_ctx.session.close()
+
+    after = _compile_counters(compile_dir)
+    summary = {
+        "wall_s": time.perf_counter() - started,
+        "timings": {k: round(v, 3) for k, v in timings.items()},
+        "simulations": simulations,
+        "result_cache_hits": cache_hits,
+        "compile": {k: after[k] - before[k] for k in after},
+    }
+    return summary, figures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval.cibench",
+        description="Timed cold/warm smoke evals; fails on warm-run "
+        "simulations or figure drift.",
+    )
+    parser.add_argument("--output", default="BENCH_ci.json")
+    parser.add_argument(
+        "--benchmarks",
+        nargs="*",
+        default=["g721dec", "jpegdec"],
+        help="fig5 smoke subset",
+    )
+    parser.add_argument(
+        "--sched-benchmarks",
+        nargs="*",
+        default=["gsmenc"],
+        help="schedcompare subset (empty list disables the oracle pass)",
+    )
+    parser.add_argument("--sim-cap", type=int, default=150)
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="cache-directory root (default: a fresh temp dir, deleted "
+        "afterwards, so the cold pass is genuinely cold)",
+    )
+    args = parser.parse_args(argv)
+
+    owns_root = args.root is None
+    root = Path(args.root) if args.root else Path(tempfile.mkdtemp(prefix="cibench-"))
+    root.mkdir(parents=True, exist_ok=True)
+    try:
+        phases: dict[str, dict] = {}
+        all_figures: dict[str, dict] = {}
+        for phase in ("cold", "warm"):
+            summary, figures = _run_phase(
+                root,
+                tuple(args.benchmarks),
+                tuple(args.sched_benchmarks),
+                args.sim_cap,
+            )
+            phases[phase] = summary
+            all_figures[phase] = figures
+            print(
+                f"[{phase}: {summary['wall_s']:.1f}s, "
+                f"{summary['simulations']} simulations, "
+                f"{summary['result_cache_hits']} result-cache hits, "
+                f"{summary['compile']['compilations']} compilations]",
+                file=sys.stderr,
+            )
+
+        figures_identical = all_figures["cold"] == all_figures["warm"]
+        failures = []
+        if phases["warm"]["simulations"]:
+            failures.append(
+                f"warm run simulated {phases['warm']['simulations']} requests "
+                "(expected 0: every result must come from the store)"
+            )
+        if phases["warm"]["compile"]["compilations"]:
+            failures.append(
+                f"warm run compiled {phases['warm']['compile']['compilations']} "
+                "loops (expected 0: every artifact must come from the store)"
+            )
+        if not figures_identical:
+            failures.append("warm-run figures differ from the cold run")
+
+        report = {
+            "schema": BENCH_SCHEMA_VERSION,
+            "code_fingerprint": code_fingerprint(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "benchmarks": args.benchmarks,
+            "sched_benchmarks": args.sched_benchmarks,
+            "sim_cap": args.sim_cap,
+            "phases": phases,
+            "figures_identical": figures_identical,
+            "failures": failures,
+        }
+        Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"[summary written to {args.output}]", file=sys.stderr)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    finally:
+        if owns_root:
+            shutil.rmtree(root, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

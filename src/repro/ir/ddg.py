@@ -86,7 +86,9 @@ class DDG:
         for _round in range(self.n_nodes + 1):
             changed = False
             for edge in self.edges:
-                bound = times[edge.src] + edge.latency(load_latency) - ii * edge.distance
+                bound = (
+                    times[edge.src] + edge.latency(load_latency) - ii * edge.distance
+                )
                 if bound > times[edge.dst]:
                     times[edge.dst] = bound
                     changed = True
@@ -108,7 +110,9 @@ class DDG:
         for _round in range(self.n_nodes + 1):
             changed = False
             for edge in self.edges:
-                bound = times[edge.dst] - edge.latency(load_latency) + ii * edge.distance
+                bound = (
+                    times[edge.dst] - edge.latency(load_latency) + ii * edge.distance
+                )
                 if bound < times[edge.src]:
                     times[edge.src] = bound
                     changed = True
@@ -158,7 +162,9 @@ def build_ddg(
 
     for order in memdep.order_edges(loop, dep_info):
         edges.append(
-            Edge(order.src.uid, order.dst.uid, order.distance, DepKind.MEM, order.latency)
+            Edge(
+                order.src.uid, order.dst.uid, order.distance, DepKind.MEM, order.latency
+            )
         )
 
     return DDG(loop, edges)

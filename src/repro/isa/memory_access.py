@@ -82,7 +82,9 @@ class AccessPattern:
         return _splitmix64(self.seed * 0x10001 + iteration) % self.array.n_elems
 
     def address(self, iteration: int, layout: "MemoryLayout") -> int:
-        return layout.base_of(self.array) + self.element_index(iteration) * self.elem_size
+        return (
+            layout.base_of(self.array) + self.element_index(iteration) * self.elem_size
+        )
 
     def unrolled_copy(self, copy_index: int, factor: int) -> "AccessPattern":
         """Pattern of the ``copy_index``-th body copy after unrolling.
@@ -135,7 +137,9 @@ class MemoryLayout:
         try:
             return self._bases[array.name]
         except KeyError:
-            raise KeyError(f"array {array.name!r} has no layout; call add() first") from None
+            raise KeyError(
+                f"array {array.name!r} has no layout; call add() first"
+            ) from None
 
     @property
     def arrays(self) -> list[ArrayRef]:

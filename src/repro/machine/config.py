@@ -119,19 +119,27 @@ class MachineConfig:
 
 def unified_config(**overrides: object) -> MachineConfig:
     """The baseline: unified L1, no L0 buffers."""
-    return MachineConfig(arch=ArchKind.UNIFIED, l0_entries=None, **overrides)  # type: ignore[arg-type]
+    return MachineConfig(  # type: ignore[arg-type]
+        arch=ArchKind.UNIFIED, l0_entries=None, **overrides
+    )
 
 
 def l0_config(entries: int | None = 8, **overrides: object) -> MachineConfig:
     """The proposed architecture with ``entries``-entry L0 buffers."""
-    return MachineConfig(arch=ArchKind.L0, l0_entries=entries, **overrides)  # type: ignore[arg-type]
+    return MachineConfig(  # type: ignore[arg-type]
+        arch=ArchKind.L0, l0_entries=entries, **overrides
+    )
 
 
 def multivliw_config(**overrides: object) -> MachineConfig:
     """Distributed snoop-coherent L1 (MultiVLIW)."""
-    return MachineConfig(arch=ArchKind.MULTIVLIW, l0_entries=None, **overrides)  # type: ignore[arg-type]
+    return MachineConfig(  # type: ignore[arg-type]
+        arch=ArchKind.MULTIVLIW, l0_entries=None, **overrides
+    )
 
 
 def interleaved_config(**overrides: object) -> MachineConfig:
     """Word-interleaved distributed L1 with attraction buffers."""
-    return MachineConfig(arch=ArchKind.INTERLEAVED, l0_entries=None, **overrides)  # type: ignore[arg-type]
+    return MachineConfig(  # type: ignore[arg-type]
+        arch=ArchKind.INTERLEAVED, l0_entries=None, **overrides
+    )

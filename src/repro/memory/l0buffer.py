@@ -168,7 +168,9 @@ class L0Buffer:
         """Insert the linear subblock containing ``addr`` (idempotent)."""
         block = self._block_of(addr)
         position = (addr - block) // self.subblock_bytes
-        existing = self._find_exact(MapKind.LINEAR, block, position, self.subblock_bytes)
+        existing = self._find_exact(
+            MapKind.LINEAR, block, position, self.subblock_bytes
+        )
         if existing is not None:
             existing.ready = min(existing.ready, ready)
             return existing
@@ -263,7 +265,9 @@ class L0Buffer:
     # Prefetch-trigger geometry
     # ------------------------------------------------------------------
 
-    def is_edge_element(self, entry: L0Entry, addr: int, width: int, last: bool) -> bool:
+    def is_edge_element(
+        self, entry: L0Entry, addr: int, width: int, last: bool
+    ) -> bool:
         """Is ``addr`` the last (or first) element of ``entry``'s subblock?"""
         offset = addr - entry.block_addr
         if entry.kind is MapKind.LINEAR:

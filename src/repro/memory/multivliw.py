@@ -36,7 +36,9 @@ class MSIStats:
 
     @property
     def loads(self) -> int:
-        return self.local_hits + self.remote_clean + self.remote_dirty + self.misses_to_l2
+        return (
+            self.local_hits + self.remote_clean + self.remote_dirty + self.misses_to_l2
+        )
 
     @property
     def local_rate(self) -> float:
@@ -137,7 +139,8 @@ class MultiVLIWMemory:
             return
         sharers = self._sharers.pop(block, set())
         old_owner = self._owner.pop(block, None)
-        remote = (sharers | ({old_owner} if old_owner is not None else set())) - {cluster}
+        owners = {old_owner} if old_owner is not None else set()
+        remote = (sharers | owners) - {cluster}
         if remote:
             self.stats.store_invalidations += len(remote)
             for other in remote:

@@ -20,13 +20,17 @@ from .artifact import (
     PipelineError,
 )
 from .cache import (
+    RESULT_SCHEMA_VERSION,
     KeyedFileStore,
     ResultCache,
     cache_key,
     code_fingerprint,
     decode_result,
+    describe_config,
+    describe_options,
     encode_result,
     result_fingerprint,
+    result_schema_digest,
 )
 from .compilecache import (
     CompileCacheStats,
@@ -34,6 +38,7 @@ from .compilecache import (
     FrontendArtifact,
     compile_cached,
     compile_key,
+    drop_compile_cache,
     frontend_key,
     get_compile_cache,
     loop_fingerprint,
@@ -46,6 +51,7 @@ from .executor import (
     make_executor,
     shared_executor,
 )
+from .manifest import GCReport, ManifestEntry, StoreManifest, VerifyReport
 from .passes import (
     BACKEND_PIPELINE,
     DEFAULT_PIPELINE,
@@ -56,10 +62,12 @@ from .passes import (
     available_passes,
     backend_pipeline,
     default_pass_manager,
+    frontend_config_fields,
     get_pass,
     make_policy,
     register_pass,
     register_scheduler,
+    traced_config,
 )
 from .session import Session
 
@@ -67,12 +75,16 @@ __all__ = [
     "BACKEND_PIPELINE",
     "DEFAULT_PIPELINE",
     "FRONTEND_PIPELINE",
+    "RESULT_SCHEMA_VERSION",
+    "SCHEDULER_PASSES",
     "CompilationArtifact",
     "CompileCacheStats",
     "CompileOptions",
     "CompiledLoopCache",
     "FrontendArtifact",
+    "GCReport",
     "KeyedFileStore",
+    "ManifestEntry",
     "ParallelExecutor",
     "Pass",
     "PassManager",
@@ -80,9 +92,10 @@ __all__ = [
     "PipelineError",
     "ResultCache",
     "RunRequest",
-    "SCHEDULER_PASSES",
     "SerialExecutor",
     "Session",
+    "StoreManifest",
+    "VerifyReport",
     "available_passes",
     "backend_pipeline",
     "cache_key",
@@ -91,8 +104,12 @@ __all__ = [
     "compile_key",
     "decode_result",
     "default_pass_manager",
+    "describe_config",
+    "describe_options",
+    "drop_compile_cache",
     "encode_result",
     "execute_request",
+    "frontend_config_fields",
     "frontend_key",
     "get_compile_cache",
     "get_pass",
@@ -102,5 +119,7 @@ __all__ = [
     "register_pass",
     "register_scheduler",
     "result_fingerprint",
+    "result_schema_digest",
     "shared_executor",
+    "traced_config",
 ]

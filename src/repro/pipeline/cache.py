@@ -19,12 +19,20 @@ import functools
 import hashlib
 import json
 import os
+import time
 from dataclasses import fields, is_dataclass
 from pathlib import Path
 
 from ..machine.config import MachineConfig
 from ..sim.runner import SimOptions
 from ..sim.stats import ProgramResult
+from .manifest import (
+    LEGACY_FINGERPRINT,
+    GCReport,
+    StoreManifest,
+    VerifyReport,
+    _is_key,
+)
 
 
 def _canonical(value):
@@ -145,9 +153,69 @@ def result_fingerprint(result: ProgramResult) -> str:
     return json.dumps(encode_result(result), sort_keys=True, separators=(",", ":"))
 
 
-def _is_key(stem: str) -> bool:
-    """Whether a filename stem is one of our sha256 content keys."""
-    return len(stem) == 64 and all(c in "0123456789abcdef" for c in stem)
+# ----------------------------------------------------------------------
+# Result-store schema
+# ----------------------------------------------------------------------
+
+#: Version of the on-disk result-entry layout.  Entries are stored in a
+#: versioned JSON envelope (schema + writer fingerprint + the explicit
+#: per-dataclass stat fields), so a persisted directory stays
+#: introspectable and decodable across code-fingerprint bumps as long
+#: as the *schema* is unchanged.  Bump this whenever a stat dataclass
+#: gains, loses or renames a field — the pinned
+#: :func:`result_schema_digest` test will insist.
+RESULT_SCHEMA_VERSION = 2
+
+#: Expected value of :func:`result_schema_digest` for
+#: :data:`RESULT_SCHEMA_VERSION`.  A test recomputes the digest from
+#: the live dataclasses; if they drift without a version bump it fails.
+RESULT_SCHEMA_DIGEST = "5b1f2c2d2d1f0977"
+
+
+def result_schema_digest() -> str:
+    """Digest of the result schema: every stat class and its fields."""
+    spec = {
+        name: [f.name for f in fields(cls)]
+        for name, cls in sorted(_result_classes().items())
+    }
+    text = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def _non_defaults(value, *, skip=(), structured=lambda v: "non-default") -> dict:
+    """Manifest-compact field diff of a default-constructible dataclass.
+
+    Scalar fields differing from the default are emitted verbatim;
+    structured ones go through ``structured``.  Fields tagged
+    ``no_cache_key`` tune *how* a run executes and are omitted,
+    matching the content key.
+    """
+    default = type(value)()
+    desc: dict = {}
+    for f in fields(value):
+        if f.name in skip or f.metadata.get("no_cache_key"):
+            continue
+        v = getattr(value, f.name)
+        if v == getattr(default, f.name):
+            continue
+        if v is None or isinstance(v, (bool, int, float, str)):
+            desc[f.name] = v
+        else:
+            desc[f.name] = structured(v)
+    return desc
+
+
+def describe_config(config: MachineConfig) -> dict:
+    """Human-readable, compact rendering of a config for the manifest:
+    the architecture plus every non-default field (structured fields —
+    op_latencies — would bloat every row and are just flagged)."""
+    return {"arch": config.arch.value, **_non_defaults(config, skip=("arch",))}
+
+
+def describe_options(options) -> dict:
+    """Non-default fields of ``SimOptions``/``CompileOptions`` for the
+    manifest; small structured values (compile_kwargs) are rendered."""
+    return _non_defaults(options, structured=lambda v: str(_canonical(v)))
 
 
 class KeyedFileStore:
@@ -168,6 +236,7 @@ class KeyedFileStore:
         self.suffix = suffix
         self._encode = encode  # value -> bytes
         self._decode = decode  # bytes -> value (raises on corruption)
+        self.manifest = StoreManifest(self.path, suffix)
 
     def _file(self, key: str) -> Path:
         return self.path / f"{key}{self.suffix}"
@@ -177,7 +246,7 @@ class KeyedFileStore:
         if not file.exists():
             return None
         try:
-            return self._decode(file.read_bytes())
+            value = self._decode(file.read_bytes())
         except Exception:
             # Treat as a miss and drop the entry so a fresh value can
             # overwrite it (OSError covers races with concurrent clear()).
@@ -185,20 +254,32 @@ class KeyedFileStore:
                 file.unlink(missing_ok=True)
             except OSError:
                 pass
+            self.manifest.forget(key)
+            self.manifest.flush()
             return None
+        self.manifest.touch(key)
+        return value
 
-    def save(self, key: str, value) -> None:
+    def save(self, key: str, value, *, description: dict | None = None) -> None:
         # Persistence is best-effort: callers already serve the value
         # from memory, so a disk failure must not abort the sweep.
         tmp = self.path / f".{key}.{os.getpid()}.tmp"
         try:
-            tmp.write_bytes(self._encode(value))
+            blob = self._encode(value)
+            tmp.write_bytes(blob)
             tmp.replace(self._file(key))
         except OSError:
             try:
                 tmp.unlink(missing_ok=True)
             except OSError:
                 pass
+            return
+        self.manifest.record(
+            key,
+            size=len(blob),
+            fingerprint=code_fingerprint(),
+            description=description,
+        )
 
     def clear(self) -> None:
         """Remove all entries — only files this store wrote, never the
@@ -210,14 +291,188 @@ class KeyedFileStore:
         for tmp in self.path.glob(".*.tmp"):
             if _is_key(tmp.name[1:].split(".")[0]):
                 tmp.unlink(missing_ok=True)
+        self.manifest.reset()
+
+    # -- introspection and maintenance ----------------------------------
+
+    def entries(self):
+        """Manifest view reconciled against the directory (see
+        :meth:`StoreManifest.entries`)."""
+        return self.manifest.entries()
+
+    def total_bytes(self) -> int:
+        return sum(e.size for e in self.entries().values())
+
+    def gc(
+        self,
+        *,
+        max_bytes: int | None = None,
+        keep_fingerprints=None,
+        min_age_s: float = 0.0,
+    ) -> GCReport:
+        """Garbage-collect the directory; returns what was removed.
+
+        Two policies, both opt-in per call:
+
+        * **Orphan sweep** — with ``keep_fingerprints`` (an iterable of
+          code fingerprints, usually ``{code_fingerprint()}``), entries
+          *known* to have been written by any other fingerprint are
+          removed: their keys mix the writer's fingerprint, so no
+          current run can ever hit them again.  Entries with an
+          *unknown* fingerprint (pre-manifest files, rebuilt manifests)
+          are conservatively kept — only the size cap can reclaim them.
+        * **LRU size cap** — with ``max_bytes``, least-recently-hit
+          entries are evicted until the directory fits.  Entries
+          younger than ``min_age_s`` are skipped (grace period for
+          concurrent writers), so the cap is a target, not a guarantee.
+
+        Concurrent safety: eviction unlinks only *installed* files;
+        in-flight ``.tmp`` writes are never touched, and a concurrent
+        writer's atomic rename simply reinstalls its entry.
+        """
+        self.manifest.flush()
+        entries = self.entries()
+        report = GCReport(
+            path=str(self.path),
+            entries_before=len(entries),
+            bytes_before=sum(e.size for e in entries.values()),
+        )
+
+        def _drop(key: str) -> bool:
+            try:
+                self._file(key).unlink(missing_ok=True)
+            except OSError:
+                return False
+            self.manifest.forget(key)
+            return True
+
+        if keep_fingerprints is not None:
+            keep = set(keep_fingerprints)
+            for key, entry in list(entries.items()):
+                known_foreign = (
+                    entry.fingerprint is not None and entry.fingerprint not in keep
+                )
+                if known_foreign and _drop(key):
+                    report.orphans.append(key)
+                    del entries[key]
+
+        if max_bytes is not None:
+            total = sum(e.size for e in entries.values())
+            now = time.time()
+            by_lru = sorted(
+                entries.values(), key=lambda e: (e.last_hit, e.created, e.key)
+            )
+            for entry in by_lru:
+                if total <= max_bytes:
+                    break
+                if now - entry.created < min_age_s:
+                    continue
+                if _drop(entry.key):
+                    report.evicted.append(entry.key)
+                    total -= entry.size
+
+        self.manifest.rewrite()
+        remaining = self.entries()
+        report.entries_after = len(remaining)
+        report.bytes_after = sum(e.size for e in remaining.values())
+        return report
+
+    def verify(self, *, migrate=None) -> VerifyReport:
+        """Decode every entry; drop the corrupt, optionally migrate.
+
+        ``migrate`` is an optional ``bytes -> bytes | None`` hook: given
+        a *valid* entry's raw bytes it returns replacement bytes (the
+        entry is rewritten atomically) or ``None`` (already current).
+        The result store uses it to upgrade legacy un-versioned entries
+        into the current schema envelope.
+        """
+        report = VerifyReport(path=str(self.path))
+        for file in sorted(self.path.glob(f"*{self.suffix}")):
+            if not _is_key(file.stem):
+                continue
+            try:
+                data = file.read_bytes()
+            except OSError:  # vanished under a concurrent clear/gc
+                continue
+            try:
+                self._decode(data)
+            except Exception:
+                try:
+                    file.unlink(missing_ok=True)
+                except OSError:
+                    pass
+                self.manifest.forget(file.stem)
+                report.corrupt.append(file.stem)
+                continue
+            if migrate is not None:
+                upgraded = migrate(data)
+                if upgraded is not None:
+                    tmp = self.path / f".{file.stem}.{os.getpid()}.tmp"
+                    try:
+                        tmp.write_bytes(upgraded)
+                        tmp.replace(file)
+                    except OSError:
+                        try:
+                            tmp.unlink(missing_ok=True)
+                        except OSError:
+                            pass
+                    else:
+                        report.migrated.append(file.stem)
+                        # A legacy entry was provably written by older
+                        # code: its key (which mixes that fingerprint)
+                        # is unreachable from the current build.  Mark
+                        # it so the orphan sweep may reclaim it instead
+                        # of letting dead data occupy the size budget.
+                        self.manifest.record(
+                            file.stem,
+                            size=len(upgraded),
+                            fingerprint=LEGACY_FINGERPRINT,
+                        )
+            report.ok += 1
+        self.manifest.rewrite()
+        return report
 
 
 def _encode_result_bytes(result: ProgramResult) -> bytes:
-    return json.dumps(encode_result(result), sort_keys=True).encode()
+    """Current (v2) layout: a versioned envelope around the stat fields."""
+    envelope = {
+        "schema": RESULT_SCHEMA_VERSION,
+        "fingerprint": code_fingerprint(),
+        "result": encode_result(result),
+    }
+    return json.dumps(envelope, sort_keys=True).encode()
 
 
 def _decode_result_bytes(data: bytes) -> ProgramResult:
-    return decode_result(json.loads(data.decode()))
+    payload = json.loads(data.decode())
+    if isinstance(payload, dict) and "schema" in payload:
+        if payload["schema"] != RESULT_SCHEMA_VERSION:
+            raise ValueError(
+                f"result entry has schema {payload['schema']!r}, "
+                f"this code reads {RESULT_SCHEMA_VERSION}"
+            )
+        return decode_result(payload["result"])
+    # Legacy (v1) entry: the bare encode_result payload, un-versioned.
+    # Still decodable — verify/migrate rewrites it into the envelope.
+    return decode_result(payload)
+
+
+def _migrate_result_bytes(data: bytes) -> bytes | None:
+    """Verify hook: rewrap a legacy (v1) entry in the current envelope.
+
+    The payload is preserved as-is (verify decode-validated it first);
+    the envelope's fingerprint stays null — the original writer's
+    identity is unknown, only provably *not current*.
+    """
+    payload = json.loads(data.decode())
+    if isinstance(payload, dict) and "schema" in payload:
+        return None  # already enveloped
+    envelope = {
+        "schema": RESULT_SCHEMA_VERSION,
+        "fingerprint": None,
+        "result": payload,
+    }
+    return json.dumps(envelope, sort_keys=True).encode()
 
 
 class ResultCache:
@@ -232,6 +487,10 @@ class ResultCache:
             else None
         )
 
+    @property
+    def store(self) -> KeyedFileStore | None:
+        return self._store
+
     def get(self, key: str) -> ProgramResult | None:
         result = self._memory.get(key)
         if result is None and self._store is not None:
@@ -240,13 +499,33 @@ class ResultCache:
                 self._memory[key] = result
         return result
 
-    def put(self, key: str, result: ProgramResult) -> None:
+    def put(
+        self, key: str, result: ProgramResult, *, description: dict | None = None
+    ) -> None:
         self._memory[key] = result
         if self._store is not None:
-            self._store.save(key, result)
+            self._store.save(key, result, description=description)
 
     def clear(self) -> None:
         """Drop all entries — only files this cache wrote."""
         self._memory.clear()
         if self._store is not None:
             self._store.clear()
+
+    # -- maintenance (no-ops for the memory-only cache) ------------------
+
+    def flush(self) -> None:
+        """Persist any buffered manifest updates (recency hits)."""
+        if self._store is not None:
+            self._store.manifest.flush()
+
+    def gc(self, **kwargs) -> GCReport:
+        if self._store is None:
+            return GCReport()
+        return self._store.gc(**kwargs)
+
+    def verify(self) -> VerifyReport:
+        """Decode-check every disk entry, migrating legacy layouts."""
+        if self._store is None:
+            return VerifyReport()
+        return self._store.verify(migrate=_migrate_result_bytes)

@@ -42,22 +42,15 @@ from ..ir.loop import Loop
 from ..ir.memdep import MemDepInfo
 from ..machine.config import MachineConfig
 from .artifact import CompilationArtifact, CompileOptions
-from .cache import KeyedFileStore, _canonical, code_fingerprint
-
-#: MachineConfig fields the frontend passes read.  ``select-unroll``
-#: estimates compute time from the resource MII (cluster count + FU mix)
-#: and the recurrence MII (op latencies, L1 load latency); ``build-ddg``
-#: reads fixed op latencies.  Nothing in the prefix touches the memory
-#: subsystem — keep this list in sync if a frontend pass grows a new
-#: config dependency.
-FRONTEND_CONFIG_FIELDS: tuple[str, ...] = (
-    "n_clusters",
-    "int_units_per_cluster",
-    "mem_units_per_cluster",
-    "fp_units_per_cluster",
-    "l1_latency",
-    "op_latencies",
+from .cache import (
+    KeyedFileStore,
+    _canonical,
+    code_fingerprint,
+    describe_config,
+    describe_options,
 )
+from .manifest import GCReport, VerifyReport
+from .passes import frontend_config_fields
 
 
 def loop_fingerprint(loop: Loop) -> dict:
@@ -83,14 +76,22 @@ def compile_key(loop: Loop, config: MachineConfig, options: CompileOptions) -> s
 
 
 def frontend_key(loop: Loop, config: MachineConfig, options: CompileOptions) -> str:
-    """Content hash of the inputs the frontend passes actually consume."""
+    """Content hash of the inputs the frontend passes actually consume.
+
+    The config projection is *derived* from the frontend passes' own
+    ``config_fields`` declarations (union via
+    :func:`repro.pipeline.passes.frontend_config_fields`), so a pass
+    cannot silently read an unkeyed field: an undeclared read is caught
+    by the tracing guard test, and a declared one widens this key
+    automatically.
+    """
     return _digest(
         {
             "code": code_fingerprint(),
             "loop": loop_fingerprint(loop),
             "config": {
                 name: _canonical(getattr(config, name))
-                for name in FRONTEND_CONFIG_FIELDS
+                for name in frontend_config_fields()
             },
             "unroll_factor": options.unroll_factor,
         }
@@ -115,6 +116,14 @@ class CompileCacheStats:
     full_misses: int = 0
     frontend_hits: int = 0
     frontend_misses: int = 0
+    #: Subset of ``full_hits`` served from the on-disk store (a disk hit
+    #: also records recency in the store manifest — the LRU signal).
+    full_disk_hits: int = 0
+
+    @property
+    def full_memory_hits(self) -> int:
+        """Full hits served without touching the disk store."""
+        return self.full_hits - self.full_disk_hits
 
     @property
     def compilations(self) -> int:
@@ -162,18 +171,19 @@ class CompiledLoopCache:
     def get(self, key: str):
         blob = self._artifacts.get(key)
         if blob is None and self._store is not None:
-            blob = self._store.load(key)
+            blob = self._store.load(key)  # records recency in the manifest
             if blob is not None:
                 self._artifacts[key] = blob
+                self.stats.full_disk_hits += 1
         if blob is None:
             return None
         return pickle.loads(blob)
 
-    def put(self, key: str, compiled) -> None:
+    def put(self, key: str, compiled, *, description: dict | None = None) -> None:
         blob = pickle.dumps(compiled)
         self._artifacts[key] = blob
         if self._store is not None:
-            self._store.save(key, blob)
+            self._store.save(key, blob, description=description)
 
     # -- frontend artifacts ---------------------------------------------
 
@@ -186,12 +196,31 @@ class CompiledLoopCache:
 
     # -- maintenance ----------------------------------------------------
 
+    @property
+    def store(self) -> KeyedFileStore | None:
+        return self._store
+
     def clear(self) -> None:
         """Drop all entries — only files this cache wrote."""
         self._artifacts.clear()
         self._frontends.clear()
         if self._store is not None:
             self._store.clear()
+
+    def flush(self) -> None:
+        """Persist any buffered manifest updates (recency hits)."""
+        if self._store is not None:
+            self._store.manifest.flush()
+
+    def gc(self, **kwargs) -> GCReport:
+        if self._store is None:
+            return GCReport()
+        return self._store.gc(**kwargs)
+
+    def verify(self) -> VerifyReport:
+        if self._store is None:
+            return VerifyReport()
+        return self._store.verify()
 
 
 def compile_cached(
@@ -256,7 +285,16 @@ def compile_cached(
     _backend_manager(options.scheduler).resume(artifact)
     compiled = artifact.compiled()
     if cacheable:
-        cache.put(key, compiled)
+        cache.put(
+            key,
+            compiled,
+            description={
+                "loop": loop.name,
+                "scheduler": options.scheduler,
+                "config": describe_config(config),
+                "options": describe_options(options),
+            },
+        )
     return compiled
 
 
@@ -303,3 +341,15 @@ def get_compile_cache(path: str | Path | None = None) -> CompiledLoopCache:
         cache = CompiledLoopCache(path)
         _CACHES[key] = cache
     return cache
+
+
+def drop_compile_cache(path: str | Path | None = None) -> None:
+    """Forget the process-wide instance for ``path`` (manifest flushed).
+
+    The next :func:`get_compile_cache` starts with empty memory, so a
+    warm consumer genuinely re-reads the disk store — what the cibench
+    perf lane needs to measure cross-process warm starts in-process.
+    """
+    cache = _CACHES.pop(str(path) if path is not None else None, None)
+    if cache is not None:
+        cache.flush()

@@ -39,7 +39,9 @@ def execute_request(request: RunRequest) -> ProgramResult:
     from ..sim.runner import run_program
     from ..workloads.mediabench import build
 
-    return run_program(build(request.benchmark), request.config, options=request.options)
+    return run_program(
+        build(request.benchmark), request.config, options=request.options
+    )
 
 
 class SerialExecutor:

@@ -1,7 +1,12 @@
 """Cluster-aware modulo scheduling: BASE algorithm + L0-aware extension."""
 
 from .coherence import CoherenceScheme, SetState
-from .driver import CompiledLoop, choose_unroll_factor, compile_loop, estimate_compute_time
+from .driver import (
+    CompiledLoop,
+    choose_unroll_factor,
+    compile_loop,
+    estimate_compute_time,
+)
 from .engine import ClusterScheduler
 from .exact import ExactScheduler
 from .l0policy import L0Policy

@@ -218,10 +218,11 @@ class ExactScheduler(ClusterScheduler):
         for instr in self.loop.body:
             if instr.fu_class in self._fu_demand:
                 self._fu_demand[instr.fu_class] += 1
+        clusters = self.config.n_clusters
         self._fu_capacity = {
-            FUClass.INT: ii * self.config.int_units_per_cluster * self.config.n_clusters,
-            FUClass.MEM: ii * self.config.mem_units_per_cluster * self.config.n_clusters,
-            FUClass.FP: ii * self.config.fp_units_per_cluster * self.config.n_clusters,
+            FUClass.INT: ii * self.config.int_units_per_cluster * clusters,
+            FUClass.MEM: ii * self.config.mem_units_per_cluster * clusters,
+            FUClass.FP: ii * self.config.fp_units_per_cluster * clusters,
         }
         self._fu_placed = {cls: 0 for cls in self._fu_demand}
         if any(

@@ -514,7 +514,9 @@ class L0Policy:
         if not pattern.is_strided or pattern.stride == 0:
             return PrefetchHint.NONE, False
         stride_class = classify(instr, self.loop.unroll_factor)
-        direction = PrefetchHint.POSITIVE if pattern.stride > 0 else PrefetchHint.NEGATIVE
+        direction = (
+            PrefetchHint.POSITIVE if pattern.stride > 0 else PrefetchHint.NEGATIVE
+        )
         if mapping is MapHint.INTERLEAVED:
             return direction, False
         if stride_class is StrideClass.GOOD and abs(pattern.stride) == 1:

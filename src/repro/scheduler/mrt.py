@@ -41,7 +41,9 @@ class ModuloReservationTable:
         key = self._key(cycle, resource)
         count = self._used.get(key, 0)
         if count <= 0:
-            raise ValueError(f"resource {resource!r} not placed at row {cycle % self.ii}")
+            raise ValueError(
+                f"resource {resource!r} not placed at row {cycle % self.ii}"
+            )
         if count == 1:
             del self._used[key]
         else:

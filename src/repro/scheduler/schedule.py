@@ -281,7 +281,9 @@ class ModuloSchedule:
                 cells.append(text or ".")
             comm_here = [c for c in self.comms if c.start % self.ii == row]
             bus = f" | bus: {len(comm_here)}" if comm_here else ""
-            lines.append(f"  row {row}: " + " || ".join(f"{c:24s}" for c in cells) + bus)
+            lines.append(
+                f"  row {row}: " + " || ".join(f"{c:24s}" for c in cells) + bus
+            )
         return "\n".join(lines)
 
 

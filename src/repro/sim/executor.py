@@ -76,7 +76,9 @@ class LoopExecutor:
         for op in self.schedule.replicas:
             items.append(_Item(start=op.start, kind="replica", op=op))
         for prefetch in self.schedule.prefetches:
-            items.append(_Item(start=prefetch.start, kind="prefetch", prefetch=prefetch))
+            items.append(
+                _Item(start=prefetch.start, kind="prefetch", prefetch=prefetch)
+            )
         items.sort(key=lambda item: item.start)
         return items
 

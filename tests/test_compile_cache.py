@@ -48,7 +48,8 @@ class TestKeys:
         every Figure-5 L0 size — and the unified baseline — share it."""
         base = frontend_key(make_saxpy(), l0_config(8), CompileOptions())
         for entries in (4, 16, None):
-            assert frontend_key(make_saxpy(), l0_config(entries), CompileOptions()) == base
+            key = frontend_key(make_saxpy(), l0_config(entries), CompileOptions())
+            assert key == base
         assert frontend_key(make_saxpy(), unified_config(), CompileOptions()) == base
 
     def test_scheduler_participates_in_full_key(self):

@@ -38,6 +38,26 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main(["fig99"])
 
+    def test_gc_max_bytes_bounds_both_stores(self, tmp_path, capsys):
+        rc = main(
+            [
+                "fig5",
+                "--benchmarks",
+                "g721dec",
+                "--sim-cap",
+                "100",
+                "--cache-dir",
+                str(tmp_path / "results"),
+                "--compile-cache-dir",
+                str(tmp_path / "compile"),
+                "--gc-max-bytes",
+                "1G",
+            ]
+        )
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert err.count("[gc ") == 2  # result store + compile store
+
 
 class TestRenderers:
     def _rows(self, labels, benchmarks=("x", "AMEAN")):

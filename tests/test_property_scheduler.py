@@ -10,7 +10,12 @@ from hypothesis import HealthCheck, assume, given, settings, strategies as st
 
 from repro.ir import build_ddg, unroll
 from repro.isa import MemoryLayout
-from repro.machine import interleaved_config, l0_config, multivliw_config, unified_config
+from repro.machine import (
+    interleaved_config,
+    l0_config,
+    multivliw_config,
+    unified_config,
+)
 from repro.scheduler import compile_loop, compute_mii, rec_mii
 from repro.sim import LoopExecutor, make_memory
 from repro.workloads import random_loop

@@ -3,7 +3,12 @@
 import pytest
 
 from repro.ir import LoopBuilder, build_ddg, unroll
-from repro.machine import interleaved_config, l0_config, multivliw_config, unified_config
+from repro.machine import (
+    interleaved_config,
+    l0_config,
+    multivliw_config,
+    unified_config,
+)
 from repro.scheduler import (
     SchedulingError,
     choose_unroll_factor,
