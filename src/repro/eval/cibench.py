@@ -18,6 +18,15 @@ reproduced different figures: that is the cache-regression tripwire.
 The workload is the fig5 smoke subset plus (optionally) the
 ``schedcompare`` exact-scheduler oracle on one benchmark, mirroring the
 CI smoke steps.
+
+A third lane measures **simulator throughput**: the fig5 smoke loops
+are precompiled, then executed cold through the reference interpreter
+and the trace fast path; kernel iterations/second for both plus their
+ratio land in ``BENCH_sim.json`` (the repo-root copy is the committed
+baseline).  Absolute throughput is machine-bound, so the regression
+gate compares *speedup ratios* — fast-over-reference now vs the
+baseline's — and fails the lane when the ratio lost more than
+:data:`SIM_REGRESSION_TOLERANCE` of its value.
 """
 
 from __future__ import annotations
@@ -31,14 +40,27 @@ import tempfile
 import time
 from pathlib import Path
 
+from ..isa.memory_access import MemoryLayout
+from ..machine.config import l0_config, unified_config
 from ..pipeline.cache import code_fingerprint
 from ..pipeline.compilecache import drop_compile_cache, get_compile_cache
-from ..sim.runner import SimOptions
+from ..scheduler.driver import compile_loop
+from ..sim.executor import LoopExecutor
+from ..sim.runner import SimOptions, make_memory
+from ..sim.trace import TraceExecutor
+from ..workloads.mediabench import build
 from .experiments import ExperimentContext, fig5, scheduler_comparison
 
 #: Schema of the emitted summary; bump when the layout changes so
 #: downstream tooling can detect what it is reading.
 BENCH_SCHEMA_VERSION = 1
+
+#: Schema of the BENCH_sim.json throughput record.
+SIM_BENCH_SCHEMA_VERSION = 1
+
+#: Allowed loss of the fast-over-reference speedup ratio before the
+#: perf lane fails (>30% throughput regression, machine-normalized).
+SIM_REGRESSION_TOLERANCE = 0.30
 
 
 def _compile_counters(cache_dir: str | None) -> dict:
@@ -112,6 +134,98 @@ def _run_phase(
     return summary, figures
 
 
+def _sim_bench_jobs(benchmarks: tuple[str, ...], sim_cap: int) -> list:
+    """Precompiled (compiled, config, iterations) jobs for the throughput
+    lane — compilation stays outside the timed region, this is a
+    *simulator* metric."""
+    jobs = []
+    for name in benchmarks:
+        bench = build(name)
+        for config in (unified_config(), l0_config(8)):
+            for spec in bench.loops:
+                compiled = compile_loop(spec.loop, config)
+                jobs.append((compiled, config, min(spec.loop.trip_count, sim_cap)))
+    return jobs
+
+
+def _throughput(jobs, make_exec) -> tuple[float, int]:
+    """(kernel iterations per second, iterations) over one cold pass."""
+    total = 0
+    started = time.perf_counter()
+    for compiled, config, iterations in jobs:
+        memory = make_memory(config)
+        executor = make_exec(compiled, memory, MemoryLayout(align=config.l1_block))
+        executor.run(iterations)
+        total += iterations
+    elapsed = time.perf_counter() - started
+    return total / elapsed if elapsed else float("inf"), total
+
+
+def run_sim_bench(
+    benchmarks: tuple[str, ...],
+    sim_cap: int,
+    *,
+    baseline_path: str | Path | None = None,
+) -> dict:
+    """Measure reference vs fast-path simulator throughput (cold).
+
+    Returns the ``BENCH_sim.json`` record; ``failures`` is non-empty
+    when the machine-normalized speedup regressed more than
+    :data:`SIM_REGRESSION_TOLERANCE` against the recorded baseline.
+    """
+    jobs = _sim_bench_jobs(benchmarks, sim_cap)
+    ref_ips, iterations = _throughput(jobs, LoopExecutor)
+    fast_ips, _ = _throughput(jobs, TraceExecutor)
+    speedup = fast_ips / ref_ips if ref_ips else float("inf")
+
+    failures: list[str] = []
+    baseline: dict | None = None
+    if baseline_path is not None and Path(baseline_path).exists():
+        try:
+            candidate = json.loads(Path(baseline_path).read_text())
+        except (OSError, ValueError):
+            candidate = None
+        if (
+            isinstance(candidate, dict)
+            and candidate.get("schema") == SIM_BENCH_SCHEMA_VERSION
+            and candidate.get("speedup")
+        ):
+            # Ratios are only comparable over the same workload: a
+            # baseline recorded for different benchmarks or sim cap is
+            # reported but never gated against.
+            same_workload = candidate.get("benchmarks") == list(
+                benchmarks
+            ) and candidate.get("sim_cap") == sim_cap
+            baseline = {
+                "speedup": candidate["speedup"],
+                "fast_iters_per_s": candidate.get("fast_iters_per_s"),
+                "code_fingerprint": candidate.get("code_fingerprint"),
+                "workload_match": same_workload,
+            }
+            floor = candidate["speedup"] * (1.0 - SIM_REGRESSION_TOLERANCE)
+            if same_workload and speedup < floor:
+                failures.append(
+                    f"simulator throughput regressed: fast path is {speedup:.2f}x "
+                    f"the reference interpreter, below {floor:.2f}x (baseline "
+                    f"{candidate['speedup']:.2f}x - {SIM_REGRESSION_TOLERANCE:.0%})"
+                )
+
+    return {
+        "schema": SIM_BENCH_SCHEMA_VERSION,
+        "code_fingerprint": code_fingerprint(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "benchmarks": list(benchmarks),
+        "sim_cap": sim_cap,
+        "iterations": iterations,
+        "reference_iters_per_s": round(ref_ips, 1),
+        "fast_iters_per_s": round(fast_ips, 1),
+        "speedup": round(speedup, 3),
+        "baseline": baseline,
+        "failures": failures,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.eval.cibench",
@@ -138,6 +252,13 @@ def main(argv: list[str] | None = None) -> int:
         help="cache-directory root (default: a fresh temp dir, deleted "
         "afterwards, so the cold pass is genuinely cold)",
     )
+    parser.add_argument(
+        "--sim-output",
+        default="BENCH_sim.json",
+        help="simulator-throughput record (also read as the regression "
+        "baseline before being overwritten; empty string disables the "
+        "throughput lane)",
+    )
     args = parser.parse_args(argv)
 
     owns_root = args.root is None
@@ -163,8 +284,23 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
 
+        sim_bench: dict | None = None
+        if args.sim_output:
+            sim_bench = run_sim_bench(
+                tuple(args.benchmarks), args.sim_cap, baseline_path=args.sim_output
+            )
+            Path(args.sim_output).write_text(json.dumps(sim_bench, indent=2) + "\n")
+            print(
+                f"[sim bench: reference {sim_bench['reference_iters_per_s']:,.0f} "
+                f"it/s, fast {sim_bench['fast_iters_per_s']:,.0f} it/s, "
+                f"speedup {sim_bench['speedup']:.2f}x -> {args.sim_output}]",
+                file=sys.stderr,
+            )
+
         figures_identical = all_figures["cold"] == all_figures["warm"]
         failures = []
+        if sim_bench is not None:
+            failures.extend(sim_bench["failures"])
         if phases["warm"]["simulations"]:
             failures.append(
                 f"warm run simulated {phases['warm']['simulations']} requests "
@@ -188,6 +324,7 @@ def main(argv: list[str] | None = None) -> int:
             "sim_cap": args.sim_cap,
             "phases": phases,
             "figures_identical": figures_identical,
+            "sim_bench": sim_bench,
             "failures": failures,
         }
         Path(args.output).write_text(json.dumps(report, indent=2) + "\n")

@@ -41,6 +41,10 @@ class NormalizedTime:
     label: str
     total: float
     stall: float
+    #: Cycle-weighted fraction of the bar that was actually interpreted
+    #: cycle by cycle (the rest was exact fast-forward or statistical
+    #: sim-cap scaling) — honesty metadata for the figure tables.
+    measured: float = 1.0
 
     @property
     def compute(self) -> float:
@@ -167,6 +171,7 @@ class ExperimentContext:
             label=label,
             total=(result.total_cycles + scalar) / denom,
             stall=result.stall_cycles / denom,
+            measured=result.measured_fraction,
         )
 
 
@@ -177,6 +182,7 @@ def _amean(rows: list[NormalizedTime], label: str) -> NormalizedTime:
         label=label,
         total=sum(r.total for r in rows) / n,
         stall=sum(r.stall for r in rows) / n,
+        measured=sum(r.measured for r in rows) / n,
     )
 
 

@@ -11,6 +11,7 @@ compiler cannot analyse (the non-strided fraction in Table 1).
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, replace
 
 
@@ -86,6 +87,47 @@ class AccessPattern:
             layout.base_of(self.array) + self.element_index(iteration) * self.elem_size
         )
 
+    # ------------------------------------------------------------------
+    # Affine export (the simulator fast path's contract)
+    # ------------------------------------------------------------------
+
+    def affine(self, layout: "MemoryLayout") -> tuple[int, int, int, int, int] | None:
+        """``(base, offset, stride, n_elems, elem_size)`` or ``None``.
+
+        Strided patterns export the closed form the trace executor
+        inlines — iteration ``i`` touches byte address
+        ``base + ((offset + i*stride) % n_elems) * elem_size`` — so
+        per-access addresses need no method dispatch or layout lookup.
+        Random patterns return ``None`` (the executor falls back to
+        :meth:`address`).
+        """
+        if self.kind is not PatternKind.STRIDED:
+            return None
+        return (
+            layout.base_of(self.array),
+            self.offset,
+            self.stride,
+            self.array.n_elems,
+            self.elem_size,
+        )
+
+    @property
+    def input_period(self) -> int | None:
+        """Iterations until this pattern's address stream repeats exactly.
+
+        ``(offset + i*stride) mod n`` is periodic with period
+        ``n / gcd(|stride|, n)``; random streams never repeat
+        (``None``).  The convergence early-exit uses the lcm of these
+        periods as the only window length at which the simulator's
+        *inputs* provably recur.
+        """
+        if self.kind is not PatternKind.STRIDED:
+            return None
+        n = self.array.n_elems
+        if self.stride == 0:
+            return 1
+        return n // math.gcd(abs(self.stride), n)
+
     def unrolled_copy(self, copy_index: int, factor: int) -> "AccessPattern":
         """Pattern of the ``copy_index``-th body copy after unrolling.
 
@@ -132,6 +174,28 @@ class MemoryLayout:
         size = array.size_bytes
         self._next = base + ((size + self._align - 1) // self._align) * self._align
         return base
+
+    def ensure(self, array: ArrayRef) -> int:
+        """Registration contract for executors binding to a shared layout.
+
+        A loop executor re-registers its loop's arrays against the
+        program-wide layout ``plan_program`` already populated.  That
+        re-add must be *exactly* idempotent: the same definition returns
+        the established base; a conflicting redefinition means the
+        executor was handed a stale layout whose addresses would
+        silently shift the simulation, so it fails loudly instead.
+        """
+        try:
+            return self.add(array)
+        except ValueError as exc:
+            raise ValueError(
+                f"stale memory layout: loop array {array.name!r} "
+                f"({array.n_elems}x{array.elem_size}B) conflicts with the "
+                "layout's established definition "
+                f"({self._arrays[array.name].n_elems}x"
+                f"{self._arrays[array.name].elem_size}B); executors must "
+                "bind to the layout the program was planned with"
+            ) from exc
 
     def base_of(self, array: ArrayRef) -> int:
         try:

@@ -42,15 +42,23 @@ class ClusterBus:
 
     def grant(self, cycle: int) -> int:
         """Reserve the first free cycle at or after ``cycle``."""
-        grant = cycle
-        while grant in self._busy:
+        busy = self._busy
+        if cycle not in busy:  # uncontended fast path
+            busy.add(cycle)
+            self.stats.grants += 1
+            if cycle - self._prune_mark >= 2 * self.PRUNE_WINDOW:
+                self._maybe_prune(cycle)
+            return cycle
+        grant = cycle + 1
+        while grant in busy:
             grant += 1
-        self._busy.add(grant)
-        self.stats.grants += 1
-        if grant != cycle:
-            self.stats.delayed_grants += 1
-            self.stats.total_delay += grant - cycle
-        self._maybe_prune(cycle)
+        busy.add(grant)
+        stats = self.stats
+        stats.grants += 1
+        stats.delayed_grants += 1
+        stats.total_delay += grant - cycle
+        if cycle - self._prune_mark >= 2 * self.PRUNE_WINDOW:
+            self._maybe_prune(cycle)
         return grant
 
     def _maybe_prune(self, cycle: int) -> None:
@@ -59,6 +67,28 @@ class ClusterBus:
         horizon = cycle - self.PRUNE_WINDOW
         self._busy = {c for c in self._busy if c >= horizon}
         self._prune_mark = cycle
+
+    def shift_time(self, delta: int) -> None:
+        """Advance every reserved slot by ``delta`` cycles.
+
+        Used by the fast path's convergence early-exit to realign the
+        bus with the simulation clock after fast-forwarding whole steady
+        periods, so post-skip arbitration sees exactly the occupancy the
+        reference interpreter would have.
+        """
+        self._busy = {c + delta for c in self._busy}
+        self._prune_mark += delta
+
+    def fingerprint(self, time_base: int) -> tuple:
+        """Occupancy relative to ``time_base``, for state-recurrence checks.
+
+        Slots further than :data:`PRUNE_WINDOW` in the past can never
+        influence a future grant (requests only arrive at or after the
+        current cycle) and may or may not have been pruned, so they are
+        excluded rather than hashed.
+        """
+        horizon = time_base - self.PRUNE_WINDOW
+        return tuple(sorted(c - time_base for c in self._busy if c >= horizon))
 
     def reset(self) -> None:
         self._busy.clear()

@@ -71,6 +71,11 @@ class UnifiedMemory:
             ClusterBus(stats=self.stats.bus) for _ in range(config.n_clusters)
         ]
         self._last_store: dict[int, int] = {}
+        # Bound copies of the hot-path latencies (config attribute reads
+        # add up over hundreds of thousands of accesses).
+        self._l0_latency = config.l0_latency
+        self._l1_latency = config.l1_latency
+        self._l2_latency = config.l2_latency
 
     # ------------------------------------------------------------------
     # Helpers
@@ -88,10 +93,15 @@ class UnifiedMemory:
             self._last_store[byte] = cycle
 
     def _check_stale(self, entry: L0Entry, addr: int, width: int) -> None:
-        newest = max(
-            (self._last_store.get(b, -1) for b in range(addr, addr + width)),
-            default=-1,
-        )
+        last_store = self._last_store
+        if not last_store:
+            return
+        newest = -1
+        get = last_store.get
+        for b in range(addr, addr + width):
+            t = get(b, -1)
+            if t > newest:
+                newest = t
         if newest > entry.update_time:
             self.stats.coherence_violations += 1
 
@@ -102,15 +112,20 @@ class UnifiedMemory:
     def load(
         self, cluster: int, addr: int, width: int, hints: HintBundle, cycle: int
     ) -> int:
-        if self.l0 is None or not hints.uses_l0:
+        if self.l0 is None or hints.access is AccessHint.NO_ACCESS:
             grant = self.buses[cluster].grant(cycle)
-            return grant + self._l1_load_latency(addr)
+            if self.l1.load(addr):
+                return grant + self._l1_latency
+            return grant + self._l1_latency + self._l2_latency
 
         buffer = self.l0[cluster]
         entry = buffer.access(addr, width, cycle)
         if entry is not None:
             self._check_stale(entry, addr, width)
-            ready = max(cycle + self.config.l0_latency, entry.ready)
+            ready = entry.ready
+            issue = cycle + self._l0_latency
+            if issue > ready:
+                ready = issue
             if hints.access is AccessHint.PAR_ACCESS:
                 # Parallel L1 probe: real traffic, reply discarded.
                 grant = self.buses[cluster].grant(cycle)
@@ -126,7 +141,9 @@ class UnifiedMemory:
         if hints.access is AccessHint.SEQ_ACCESS and not bus.is_free(request):
             self.stats.seq_bus_conflicts += 1
         grant = bus.grant(request)
-        latency = self._l1_load_latency(addr)
+        latency = self._l1_latency
+        if not self.l1.load(addr):
+            latency += self._l2_latency
         if hints.mapping is MapHint.INTERLEAVED:
             arrival = grant + latency + self.config.interleave_penalty
             filled = self._distribute_block(cluster, addr, width, arrival, False)
@@ -276,3 +293,89 @@ class UnifiedMemory:
 
     def reset(self) -> None:
         self.__init__(self.config, with_l0=self.l0 is not None)
+
+    # ------------------------------------------------------------------
+    # Fast-path hooks: batch entry points + convergence certificate
+    # ------------------------------------------------------------------
+
+    def load_run(self, clusters, addrs, widths, hints_list, cycles) -> list[int]:
+        """Issue a run of loads that cannot interlock with each other.
+
+        Semantically identical to calling :meth:`load` element-wise in
+        order; the trace executor uses it for statically stall-free
+        stretches of a kernel window so one Python call covers the run.
+        The no-L0 case (every load is a plain bus+L1 round trip) is
+        unrolled here with bound locals — it is the unified baseline's
+        entire load path.
+        """
+        if self.l0 is None:
+            buses = self.buses
+            l1_load = self.l1.load
+            l1_latency = self._l1_latency
+            miss_latency = l1_latency + self._l2_latency
+            return [
+                buses[clusters[k]].grant(cycles[k])
+                + (l1_latency if l1_load(addrs[k]) else miss_latency)
+                for k in range(len(addrs))
+            ]
+        load = self.load
+        return [
+            load(clusters[k], addrs[k], widths[k], hints_list[k], cycles[k])
+            for k in range(len(addrs))
+        ]
+
+    def store_run(self, clusters, addrs, widths, hints_list, cycles, primaries) -> None:
+        """Issue a run of stores, element-wise in order (see load_run)."""
+        store = self.store
+        for k in range(len(addrs)):
+            store(
+                clusters[k],
+                addrs[k],
+                widths[k],
+                hints_list[k],
+                cycles[k],
+                is_primary=primaries[k],
+            )
+
+    def shift_time(self, delta: int) -> None:
+        """Advance every internal timestamp by ``delta`` cycles.
+
+        After the convergence early-exit fast-forwards ``m`` whole
+        steady periods, the simulation clock jumps while the memory
+        state was only evolved up to the skip point; shifting realigns
+        fills-in-flight, store stamps, and bus occupancy with the clock
+        so post-skip behaviour is byte-identical to the reference.
+        """
+        if self.l0 is not None:
+            for buffer in self.l0:
+                buffer.shift_time(delta)
+        for bus in self.buses:
+            bus.shift_time(delta)
+        self._last_store = {b: t + delta for b, t in self._last_store.items()}
+
+    def state_fingerprint(self, time_base: int, horizon: int = 4096) -> tuple:
+        """Canonical decision-relevant state, times relative to ``time_base``.
+
+        Equal fingerprints at two cycles with identical upcoming access
+        streams certify that the simulation evolves identically from
+        both points — the convergence early-exit's state-recurrence
+        check.  Store stamps older than ``horizon`` are bucketed (they
+        can only order against equally ancient L0 update stamps; see
+        the architecture doc's soundness conditions).
+        """
+        ancient = time_base - horizon
+        recent = tuple(
+            (b, t - time_base)
+            for b, t in sorted(self._last_store.items())
+            if t >= ancient
+        )
+        old = tuple(b for b, t in sorted(self._last_store.items()) if t < ancient)
+        return (
+            self.l1.fingerprint(),
+            tuple(
+                buffer.fingerprint(time_base, horizon) for buffer in self.l0 or ()
+            ),
+            tuple(bus.fingerprint(time_base) for bus in self.buses),
+            recent,
+            old,
+        )

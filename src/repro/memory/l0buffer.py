@@ -30,8 +30,12 @@ class MapKind(enum.Enum):
     INTERLEAVED = "interleaved"
 
 
-@dataclass
+@dataclass(eq=False)
 class L0Entry:
+    """One resident subblock.  Identity equality (``eq=False``): entries
+    are mutable runtime objects tracked by the buffer's LRU list, and
+    ``list.remove`` must drop *this* entry, not a value-equal twin."""
+
     kind: MapKind
     block_addr: int  # base address of the owning L1 block
     #: linear: subblock index within the block; interleaved: element residue.
@@ -140,17 +144,43 @@ class L0Buffer:
         return None
 
     def access(self, addr: int, width: int, cycle: int) -> L0Entry | None:
-        """Demand access: updates LRU and hit/miss statistics."""
-        entry = self.find(addr, width)
-        if entry is None:
-            self.stats.misses += 1
+        """Demand access: updates LRU and hit/miss statistics.
+
+        Inlined MRU-first cover scan (this is the simulator's hottest
+        memory loop); semantically identical to ``find`` + LRU bump.
+        """
+        entries = self._entries
+        block = addr - (addr % self.block_bytes)
+        offset = addr - block
+        sub = self.subblock_bytes
+        n = self.n_clusters
+        stats = self.stats
+        for idx in range(len(entries) - 1, -1, -1):
+            entry = entries[idx]
+            if entry.block_addr != block:
+                continue
+            if entry.kind is MapKind.LINEAR:
+                lo = entry.position * sub
+                if lo <= offset and offset + width <= lo + sub:
+                    break
+            else:
+                g = entry.granularity
+                if (
+                    width <= g
+                    and not offset % g
+                    and (offset // g) % n == entry.position
+                ):
+                    break
+        else:
+            stats.misses += 1
             return None
-        self.stats.hits += 1
+        stats.hits += 1
         if entry.ready > cycle:
-            self.stats.late_hits += 1
+            stats.late_hits += 1
         entry.touched = True
-        self._entries.remove(entry)
-        self._entries.append(entry)
+        if idx != len(entries) - 1:
+            del entries[idx]
+            entries.append(entry)
         return entry
 
     def _make_room(self) -> None:
@@ -289,3 +319,40 @@ class L0Buffer:
 
     def entries(self) -> list[L0Entry]:
         return list(self._entries)
+
+    # ------------------------------------------------------------------
+    # Fast-path hooks (convergence early-exit)
+    # ------------------------------------------------------------------
+
+    def shift_time(self, delta: int) -> None:
+        """Advance every entry's fill/update stamp by ``delta`` cycles."""
+        for entry in self._entries:
+            entry.ready += delta
+            entry.update_time += delta
+
+    def fingerprint(self, time_base: int, horizon: int) -> tuple:
+        """Canonical content + LRU order, times relative to ``time_base``.
+
+        Stamps older than ``horizon`` cycles are bucketed as "ancient":
+        their exact value can no longer change a stall (fills completed
+        long ago) and only orders against equally ancient store stamps —
+        the documented soundness condition of the early-exit.
+        """
+
+        def rel(t: int) -> int:
+            d = t - time_base
+            return d if d >= -horizon else -horizon - 1
+
+        return tuple(
+            (
+                e.kind.value,
+                e.block_addr,
+                e.position,
+                e.granularity,
+                rel(e.ready),
+                rel(e.update_time),
+                e.from_prefetch,
+                e.touched,
+            )
+            for e in self._entries
+        )

@@ -58,13 +58,15 @@ class SetAssocCache:
 
     def probe(self, addr: int) -> bool:
         """Tag check without side effects."""
-        index, tag = self._locate(addr)
-        return tag in self._sets[index]
+        block_addr = addr // self.block
+        return block_addr // self.n_sets in self._sets[block_addr % self.n_sets]
 
     def load(self, addr: int) -> bool:
         """Look up; allocate on miss (LRU eviction).  Returns hit?"""
-        index, tag = self._locate(addr)
-        entries = self._sets[index]
+        block_addr = addr // self.block
+        n_sets = self.n_sets
+        entries = self._sets[block_addr % n_sets]
+        tag = block_addr // n_sets
         if tag in entries:
             entries.move_to_end(tag)
             self.stats.load_hits += 1
@@ -77,8 +79,10 @@ class SetAssocCache:
 
     def store(self, addr: int) -> bool:
         """Write-through, no write-allocate.  Returns hit?"""
-        index, tag = self._locate(addr)
-        entries = self._sets[index]
+        block_addr = addr // self.block
+        n_sets = self.n_sets
+        entries = self._sets[block_addr % n_sets]
+        tag = block_addr // n_sets
         if tag in entries:
             entries.move_to_end(tag)
             self.stats.store_hits += 1
@@ -96,6 +100,15 @@ class SetAssocCache:
 
     def resident_blocks(self) -> int:
         return sum(len(entries) for entries in self._sets)
+
+    def fingerprint(self) -> tuple:
+        """Canonical tag content + per-set LRU order (no timestamps).
+
+        Used by the fast path's state-recurrence certificate: two equal
+        fingerprints mean every future lookup/eviction decision evolves
+        identically from here.
+        """
+        return tuple(tuple(entries) for entries in self._sets)
 
 
 _MISSING = object()

@@ -158,3 +158,36 @@ class MultiVLIWMemory:
 
     def reset(self) -> None:
         self.__init__(self.config)
+
+    # ------------------------------------------------------------------
+    # Fast-path hooks (see UnifiedMemory for the contract)
+    # ------------------------------------------------------------------
+
+    def load_run(self, clusters, addrs, widths, hints_list, cycles) -> list[int]:
+        load = self.load
+        return [
+            load(clusters[k], addrs[k], widths[k], hints_list[k], cycles[k])
+            for k in range(len(addrs))
+        ]
+
+    def store_run(self, clusters, addrs, widths, hints_list, cycles, primaries) -> None:
+        store = self.store
+        for k in range(len(addrs)):
+            store(
+                clusters[k],
+                addrs[k],
+                widths[k],
+                hints_list[k],
+                cycles[k],
+                is_primary=primaries[k],
+            )
+
+    def shift_time(self, delta: int) -> None:
+        return None  # the MSI model keeps no timestamps
+
+    def state_fingerprint(self, time_base: int, horizon: int = 4096) -> tuple:
+        return (
+            tuple(tuple(module) for module in self._modules),
+            tuple(sorted((b, tuple(sorted(s))) for b, s in self._sharers.items())),
+            tuple(sorted(self._owner.items())),
+        )

@@ -164,12 +164,12 @@ def result_fingerprint(result: ProgramResult) -> str:
 #: as the *schema* is unchanged.  Bump this whenever a stat dataclass
 #: gains, loses or renames a field — the pinned
 #: :func:`result_schema_digest` test will insist.
-RESULT_SCHEMA_VERSION = 2
+RESULT_SCHEMA_VERSION = 3  # v3: Loop(Run)Result simulated_iterations/extrapolated
 
 #: Expected value of :func:`result_schema_digest` for
 #: :data:`RESULT_SCHEMA_VERSION`.  A test recomputes the digest from
 #: the live dataclasses; if they drift without a version bump it fails.
-RESULT_SCHEMA_DIGEST = "5b1f2c2d2d1f0977"
+RESULT_SCHEMA_DIGEST = "c59ecb2af5ce0c2d"
 
 
 def result_schema_digest() -> str:

@@ -284,6 +284,12 @@ def compile_cached(
         )
     _backend_manager(options.scheduler).resume(artifact)
     compiled = artifact.compiled()
+    # Flatten the simulator's fast-path event trace now so it rides the
+    # cached (and persisted) artifact: warm runs — in-memory or from
+    # disk — skip both scheduling *and* trace compilation.
+    from ..sim.trace import static_trace
+
+    static_trace(compiled)
     if cacheable:
         cache.put(
             key,

@@ -30,6 +30,11 @@ class CompiledLoop:
     ddg: DDG
     policy_name: str
     unroll_factor: int
+    #: Lazily built fast-path event trace (``repro.sim.trace.StaticTrace``).
+    #: Derived purely from the schedule/DDG, so it is cached alongside
+    #: the compiled artifact: persisted compile-cache entries carry it
+    #: and warm runs skip the flattening.
+    static_trace: object | None = None
 
     @property
     def ii(self) -> int:

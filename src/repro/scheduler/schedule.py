@@ -112,6 +112,33 @@ class ModuloSchedule:
         return self.placed[uid].start + iteration * self.ii
 
     # ------------------------------------------------------------------
+    # Trace metadata (the simulators' static event order)
+    # ------------------------------------------------------------------
+
+    def kernel_items(self) -> list[tuple[int, str, object]]:
+        """The kernel's schedulable units in canonical simulation order.
+
+        Returns ``(start, kind, payload)`` triples — ``kind`` is
+        ``"op"`` / ``"replica"`` / ``"prefetch"``, payload the placed
+        record — stably sorted by start time over (placed ops in
+        placement order, replicas, prefetches).  Both the reference
+        interpreter's heap merge and the precompiled trace executor
+        derive their event order from this list, so the two paths
+        process instruction instances in provably the same sequence:
+        iteration ``i`` of item ``k`` fires at ``start_k + i*II``, ties
+        broken by position in this list.
+        """
+        items: list[tuple[int, str, object]] = []
+        for op in self.placed.values():
+            items.append((op.start, "op", op))
+        for op in self.replicas:
+            items.append((op.start, "replica", op))
+        for prefetch in self.prefetches:
+            items.append((prefetch.start, "prefetch", prefetch))
+        items.sort(key=lambda item: item[0])
+        return items
+
+    # ------------------------------------------------------------------
     # Views
     # ------------------------------------------------------------------
 

@@ -12,6 +12,7 @@ from .runner import (
     LoopPlan,
     SimOptions,
     SimulatedLoop,
+    make_executor,
     make_memory,
     plan_program,
     run_loop,
@@ -19,6 +20,7 @@ from .runner import (
     simulate_plan,
 )
 from .stats import LoopResult, LoopRunResult, ProgramResult, merge_stats
+from .trace import StaticTrace, TraceExecutor, static_trace
 
 __all__ = [
     "INVALIDATE_OVERHEAD",
@@ -29,14 +31,18 @@ __all__ = [
     "ProgramResult",
     "SimOptions",
     "SimulatedLoop",
+    "StaticTrace",
+    "TraceExecutor",
     "flush_needed",
     "flush_needed_since",
     "invocation_flush_needed",
     "loops_may_conflict",
+    "make_executor",
     "make_memory",
     "merge_stats",
     "plan_program",
     "run_loop",
     "run_program",
     "simulate_plan",
+    "static_trace",
 ]

@@ -54,7 +54,7 @@ class LoopExecutor:
         self.memory = memory
         self.layout = layout
         for array in compiled.loop.arrays:
-            layout.add(array)
+            layout.ensure(array)
 
         self._items = self._build_items()
         self._deps = self._build_deps()
@@ -71,15 +71,11 @@ class LoopExecutor:
 
     def _build_items(self) -> list[_Item]:
         items: list[_Item] = []
-        for op in self.schedule.placed.values():
-            items.append(_Item(start=op.start, kind="op", op=op))
-        for op in self.schedule.replicas:
-            items.append(_Item(start=op.start, kind="replica", op=op))
-        for prefetch in self.schedule.prefetches:
-            items.append(
-                _Item(start=prefetch.start, kind="prefetch", prefetch=prefetch)
-            )
-        items.sort(key=lambda item: item.start)
+        for start, kind, payload in self.schedule.kernel_items():
+            if kind == "prefetch":
+                items.append(_Item(start=start, kind=kind, prefetch=payload))
+            else:
+                items.append(_Item(start=start, kind=kind, op=payload))
         return items
 
     def _build_deps(self) -> dict[int, list[tuple[int, int, PlacedComm | None]]]:
@@ -215,9 +211,15 @@ class LoopExecutor:
             compute_cycles=compute,
             stall_cycles=stall,
             late_loads=late_loads,
+            simulated_iterations=iterations,
         )
 
     @property
     def last_stall_by_iteration(self) -> list[int]:
         """Per-iteration stall contributions of the most recent run()."""
         return getattr(self, "_last_stall_by_iteration", [])
+
+    @property
+    def last_converged(self) -> bool:
+        """The reference interpreter never early-exits."""
+        return False

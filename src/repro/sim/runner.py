@@ -28,6 +28,7 @@ the planned flushes and their cycle overheads.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from ..isa.memory_access import MemoryLayout
@@ -78,6 +79,16 @@ class SimOptions:
     #: Persist compile artifacts under this directory (None = in-memory
     #: process-wide cache only).
     compile_cache_dir: str | None = field(default=None, metadata={"no_cache_key": True})
+    #: Use the precompiled-trace fast-path executor (byte-identical to
+    #: the reference interpreter; the ``REPRO_FAST_SIM`` environment
+    #: variable overrides — "0" forces the reference, "interp" the fast
+    #: interpreter without the early-exit).  Excluded from cache keys:
+    #: the measured cycles and stats are identical either way (only the
+    #: diagnostic ``simulated_iterations`` fields can differ).
+    fast_sim: bool = field(default=True, metadata={"no_cache_key": True})
+    #: Allow the fast path's convergence early-exit (exact fast-forward
+    #: of proven-periodic steady state).
+    fast_convergence: bool = field(default=True, metadata={"no_cache_key": True})
 
     def __post_init__(self) -> None:
         # Normalise the two spellings of the scheduler knob: a
@@ -102,15 +113,56 @@ def _compile(loop, config: MachineConfig, options: SimOptions) -> CompiledLoop:
     )
 
 
+def _fast_mode(options: SimOptions) -> tuple[bool, bool]:
+    """Resolve the (fast executor?, convergence?) pair.
+
+    The ``REPRO_FAST_SIM`` environment variable is the debugging
+    override: ``0``/``off``/``false`` force the reference interpreter,
+    ``interp`` forces the fast interpreter without the early-exit, and
+    anything else defers to the options.
+    """
+    env = os.environ.get("REPRO_FAST_SIM", "").strip().lower()
+    if env in ("0", "off", "false"):
+        return False, False
+    if env == "interp":
+        return True, False
+    return options.fast_sim, options.fast_convergence
+
+
+def make_executor(
+    compiled: CompiledLoop,
+    memory,
+    layout: MemoryLayout,
+    options: SimOptions | None = None,
+):
+    """The executor ``run_loop`` drives: fast path unless opted out."""
+    options = options or SimOptions()
+    fast, converge = _fast_mode(options)
+    if not fast:
+        return LoopExecutor(compiled, memory, layout)
+    from .trace import TraceExecutor
+
+    return TraceExecutor(compiled, memory, layout, convergence=converge)
+
+
 def _extrapolated(
-    executor: LoopExecutor, iterations: int, cap: int, clock: int
-) -> tuple[LoopRunResult, int]:
-    """Run up to ``cap`` iterations and extrapolate the steady state."""
+    executor, iterations: int, cap: int, clock: int
+) -> tuple[LoopRunResult, int, str]:
+    """Run up to ``cap`` iterations and extrapolate the steady state.
+
+    Returns the (possibly scaled) run result, the advanced clock, and
+    how the unsimulated remainder was covered: ``"none"`` (everything
+    interpreted), ``"exact"`` (the fast path's convergence early-exit —
+    cycle counts still exact), ``"statistical"`` (sim-cap extrapolation)
+    or ``"exact+statistical"``.  ``result.simulated_iterations`` is the
+    honest count of iterations actually interpreted.
+    """
     simulated = min(iterations, cap)
     result = executor.run(simulated, start_cycle=clock)
     clock += result.total_cycles
+    exact = getattr(executor, "last_converged", False)
     if simulated == iterations:
-        return result, clock
+        return result, clock, ("exact" if exact else "none")
     # Steady-state stall rate from the second half of the simulated run
     # (the first half absorbs cold misses).
     history = executor.last_stall_by_iteration
@@ -124,11 +176,12 @@ def _extrapolated(
         + executor.schedule.span,
         stall_cycles=result.stall_cycles + int(round(rate * remaining)),
         late_loads=result.late_loads,
+        simulated_iterations=result.simulated_iterations,
     )
     clock += (total.compute_cycles - result.compute_cycles) + int(
         round(rate * remaining)
     )
-    return total, clock
+    return total, clock, ("exact+statistical" if exact else "statistical")
 
 
 def run_loop(
@@ -153,13 +206,15 @@ def run_loop(
     memory clock.
     """
     options = options or SimOptions()
-    executor = LoopExecutor(compiled, memory, layout)
+    executor = make_executor(compiled, memory, layout, options)
     trip = compiled.loop.trip_count
     l0_arch = compiled.schedule.config.arch is ArchKind.L0
 
-    cold, clock = _extrapolated(executor, trip, options.sim_cap, clock)
+    cold, clock, kind = _extrapolated(executor, trip, options.sim_cap, clock)
     compute = cold.compute_cycles
     stall = cold.stall_cycles
+    simulated_iters = cold.simulated_iterations
+    kinds = {kind}
     if invocations > 1:
         if flush_between:
             memory.invalidate_l0(clock)
@@ -167,13 +222,20 @@ def run_loop(
         warm_compute = warm_stall = 0
         warm: LoopRunResult | None = None
         for _ in range(warm_runs):
-            warm, clock = _extrapolated(executor, trip, options.sim_cap, clock)
+            warm, clock, kind = _extrapolated(executor, trip, options.sim_cap, clock)
+            kinds.add(kind)
+            simulated_iters += warm.simulated_iterations
             if flush_between:
                 memory.invalidate_l0(clock)
             warm_compute += warm.compute_cycles
             warm_stall += warm.stall_cycles
         assert warm is not None
         remaining = invocations - 1 - warm_runs
+        if remaining:
+            # Unsimulated invocations replicate the last warm run — a
+            # statistical extrapolation like the sim-cap scaling, and
+            # reported as such.
+            kinds.add("statistical")
         compute += warm_compute + remaining * warm.compute_cycles
         stall += warm_stall + remaining * warm.stall_cycles
     if flush_after and (invocations == 1 or not flush_between):
@@ -186,6 +248,17 @@ def run_loop(
         compute += overhead
         clock += overhead
 
+    exact = any(k.startswith("exact") for k in kinds)
+    statistical = any(k.endswith("statistical") for k in kinds)
+    extrapolated = (
+        "exact+statistical"
+        if exact and statistical
+        else "exact"
+        if exact
+        else "statistical"
+        if statistical
+        else "none"
+    )
     result = LoopResult(
         name=compiled.loop.name,
         ii=compiled.schedule.ii,
@@ -194,6 +267,8 @@ def run_loop(
         invocations=invocations,
         compute_cycles=compute,
         stall_cycles=stall,
+        simulated_iterations=simulated_iters,
+        extrapolated=extrapolated,
     )
     return result, clock
 

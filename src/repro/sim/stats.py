@@ -40,6 +40,12 @@ class LoopRunResult:
     compute_cycles: int
     stall_cycles: int
     late_loads: int = 0
+    #: Kernel iterations the executor actually interpreted cycle by
+    #: cycle.  Equal to ``iterations`` unless the fast path's
+    #: convergence early-exit proved a periodic steady state and
+    #: fast-forwarded the rest exactly (the cycle counts are still exact
+    #: either way; 0 on records predating the field).
+    simulated_iterations: int = 0
 
     @property
     def total_cycles(self) -> int:
@@ -51,6 +57,7 @@ class LoopRunResult:
             compute_cycles=int(round(self.compute_cycles * factor)),
             stall_cycles=int(round(self.stall_cycles * factor)),
             late_loads=int(round(self.late_loads * factor)),
+            simulated_iterations=int(self.simulated_iterations * factor),
         )
 
 
@@ -65,10 +72,33 @@ class LoopResult:
     invocations: int
     compute_cycles: int
     stall_cycles: int
+    #: Kernel iterations interpreted cycle by cycle across the simulated
+    #: invocations (honest measurement count — the rest of the bar was
+    #: scaled or fast-forwarded).
+    simulated_iterations: int = 0
+    #: How the unsimulated remainder was covered: "none" (everything
+    #: interpreted), "exact" (convergence early-exit, cycle counts still
+    #: exact), "statistical" (sim-cap extrapolation from the steady-state
+    #: stall rate and/or unsimulated invocations replicating the last
+    #: warm run), or "exact+statistical" (both applied).
+    extrapolated: str = "none"
 
     @property
     def total_cycles(self) -> int:
         return self.compute_cycles + self.stall_cycles
+
+    @property
+    def total_iterations(self) -> int:
+        """Kernel iterations the loop's cycle totals stand for."""
+        return self.trip_count * self.invocations
+
+    @property
+    def measured_fraction(self) -> float:
+        """Share of the loop's iterations that were actually interpreted."""
+        total = self.total_iterations
+        if not total:
+            return 1.0
+        return min(1.0, self.simulated_iterations / total)
 
 
 @dataclass
@@ -93,6 +123,17 @@ class ProgramResult:
     @property
     def total_cycles(self) -> int:
         return self.compute_cycles + self.stall_cycles
+
+    @property
+    def measured_fraction(self) -> float:
+        """Cycle-weighted share of the bar that was actually interpreted
+        (the rest was exact fast-forward or statistical scaling)."""
+        total = sum(l.total_cycles for l in self.loops)
+        if not total:
+            return 1.0
+        return (
+            sum(l.measured_fraction * l.total_cycles for l in self.loops) / total
+        )
 
     @property
     def average_unroll_factor(self) -> float:

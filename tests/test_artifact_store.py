@@ -397,10 +397,16 @@ class TestCIBench:
         from repro.eval.cibench import main as cibench_main
 
         output = tmp_path / "BENCH_ci.json"
+        sim_output = tmp_path / "BENCH_sim.json"
         rc = cibench_main(
             [
                 "--output",
                 str(output),
+                # Redirected away from the repo root: the default would
+                # overwrite the committed throughput baseline on every
+                # test run.
+                "--sim-output",
+                str(sim_output),
                 "--benchmarks",
                 "g721dec",
                 "--sched-benchmarks",
@@ -417,3 +423,6 @@ class TestCIBench:
         assert report["phases"]["warm"]["simulations"] == 0
         assert report["figures_identical"] is True
         assert report["failures"] == []
+        sim_record = json.loads(sim_output.read_text())
+        assert sim_record["speedup"] > 0
+        assert report["sim_bench"]["speedup"] == sim_record["speedup"]
