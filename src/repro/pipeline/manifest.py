@@ -247,7 +247,7 @@ class StoreManifest:
                 merged[key] = ManifestEntry(key=key, created=hit, last_hit=hit)
             elif hit > old.last_hit:
                 merged[key] = replace(old, last_hit=hit)
-        for key in self._forgotten:
+        for key in sorted(self._forgotten):
             merged.pop(key, None)
         return merged
 

@@ -244,7 +244,7 @@ class L0Policy:
         if not pattern.is_strided:
             return
         n = self.config.n_clusters
-        for uid in self.l0_planned:
+        for uid in sorted(self.l0_planned):
             if uid == instr.uid or uid in engine.placed:
                 continue
             other = self._instr[uid]

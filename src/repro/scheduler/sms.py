@@ -62,7 +62,7 @@ def sms_order(
     while remaining:
         # Frontier: unordered nodes adjacent to an ordered node.
         frontier: dict[int, Direction] = {}
-        for uid in placed:
+        for uid in sorted(placed):
             for edge in ddg.succs[uid]:
                 if edge.dst in remaining and edge.dst not in frontier:
                     frontier[edge.dst] = Direction.TOP_DOWN
