@@ -1,0 +1,43 @@
+"""Independent static certifier and artifact sanitizer.
+
+``repro.analysis`` re-derives, from first principles and sharing no
+code with the schedulers, everything the compile pipeline claims about
+an artifact: schedule legality (dependences, comms, reservation
+tables), register lifetimes under modulo variable expansion, L0 buffer
+occupancy and flush coverage, and the fast-path trace's event
+prunings.  It also hosts the project's AST lint.  All findings are
+typed :class:`Diagnostic` records with stable codes.
+
+Only the diagnostics leaf is imported eagerly: the scheduler package
+imports :class:`Diagnostic` for its own ``validate()``, and the
+checkers import the scheduler's data types — loading them here would
+close an import cycle.  The heavier entry points resolve lazily.
+"""
+
+from .diagnostics import CODES, Diagnostic, Severity, blocking
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "Severity",
+    "blocking",
+    "certify_compiled",
+    "check_schedule",
+    "lint_paths",
+]
+
+_LAZY = {
+    "certify_compiled": ("repro.analysis.certify", "certify_compiled"),
+    "check_schedule": ("repro.analysis.dependence", "check_schedule"),
+    "lint_paths": ("repro.analysis.lint", "lint_paths"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

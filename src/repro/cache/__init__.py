@@ -146,6 +146,7 @@ def cmd_gc(args) -> int:
 
 def cmd_verify(args) -> int:
     corrupt = 0
+    analysis_rc = 0
     for label, cache in open_stores(args):
         report = cache.verify()
         corrupt += len(report.corrupt)
@@ -154,7 +155,13 @@ def cmd_verify(args) -> int:
             f"{label}: {report.ok} entries ok, "
             f"{len(report.corrupt)} corrupt removed{migrated}"
         )
-    return 1 if corrupt else 0
+        if getattr(args, "analyze", False) and label == "compile":
+            # Beyond decode soundness: run the static certifier over
+            # every artifact that survived verification.
+            from ..analysis.__main__ import audit_compile_store
+
+            analysis_rc = audit_compile_store(cache.store.path) or analysis_rc
+    return 1 if corrupt or analysis_rc else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -199,10 +206,16 @@ def main(argv: list[str] | None = None) -> int:
         "(grace period for concurrent writers)",
     )
 
-    sub.add_parser(
+    verify = sub.add_parser(
         "verify",
         help="decode-check every entry; drop corrupt, migrate legacy "
         "(exit 1 if anything was corrupt)",
+    )
+    verify.add_argument(
+        "--analyze",
+        action="store_true",
+        help="additionally run the repro.analysis certifier over every "
+        "compile artifact (exit 1 on any blocking finding)",
     )
 
     args = parser.parse_args(argv)

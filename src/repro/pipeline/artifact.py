@@ -42,6 +42,11 @@ class CompileOptions:
     an optional wall-clock budget in seconds (``None`` keeps compiles
     deterministic; all three are inert under ``scheduler="sms"`` but
     still participate in compile-cache keys like every other option).
+
+    ``analyze`` runs the independent static certifier
+    (``repro.analysis``) over the finished artifact before it is cached;
+    the verdict lands in ``schedule.meta["analysis"]`` and rides every
+    future cache hit.
     """
 
     unroll_factor: int | None = None
@@ -53,6 +58,7 @@ class CompileOptions:
     exact_node_budget: int = 60_000
     exact_max_stages: int | None = None
     exact_time_budget_s: float | None = None
+    analyze: bool = False
 
 
 @dataclass
@@ -75,6 +81,8 @@ class CompilationArtifact:
     ddg: DDG | None = None
     policy: object | None = None
     schedule: object | None = None
+    #: ``list[repro.analysis.Diagnostic]`` once the ``analyze`` pass ran.
+    analysis: object | None = None
 
     #: names of the passes that have run, in order (for diagnostics)
     trace: list[str] = field(default_factory=list)

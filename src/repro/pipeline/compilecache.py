@@ -290,6 +290,12 @@ def compile_cached(
     from ..sim.trace import static_trace
 
     static_trace(compiled)
+    if options.analyze:
+        # Certify before the artifact is persisted so the meta verdict
+        # (and any proved_optimal downgrade) rides every future hit.
+        from ..analysis.certify import certify_compiled
+
+        certify_compiled(compiled, artifact_key=key)
     if cacheable:
         cache.put(
             key,

@@ -225,6 +225,19 @@ def _exact_schedule(artifact: CompilationArtifact) -> None:
     artifact.schedule = engine.schedule()
 
 
+@register_pass("analyze", requires=("ddg", "schedule"), provides=("analysis",))
+def _analyze(artifact: CompilationArtifact) -> None:
+    """Opt-in: certify the schedule with the independent static checker.
+
+    Appended to a pipeline (or triggered via ``options.analyze`` on the
+    cached compile path) after a scheduler pass; the findings land in
+    ``artifact.analysis`` and the verdict in ``schedule.meta``.
+    """
+    from ..analysis.certify import certify_schedule
+
+    artifact.analysis = certify_schedule(artifact.schedule, artifact.ddg)
+
+
 def make_policy(
     loop: Loop,
     config: MachineConfig,

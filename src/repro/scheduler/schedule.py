@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..analysis.diagnostics import Diagnostic
 from ..isa.hints import BYPASS_HINTS, HintBundle
 from ..isa.instruction import Instruction
 from ..isa.operations import FUClass, Opcode
@@ -180,16 +181,21 @@ class ModuloSchedule:
     # Validation (used heavily by tests)
     # ------------------------------------------------------------------
 
-    def validate(self, ddg: DDG) -> list[str]:
-        """Return a list of constraint violations (empty = valid)."""
-        problems: list[str] = []
+    def validate(self, ddg: DDG) -> list[Diagnostic]:
+        """Return the constraint violations found (empty = valid).
+
+        Each violation is a typed :class:`~repro.analysis.Diagnostic`
+        with a stable code; ``str(d)`` still yields the legacy message
+        text, so truthiness/``== []`` consumers are unaffected.
+        """
+        problems: list[Diagnostic] = []
         problems.extend(self._validate_resources())
         problems.extend(self._validate_dependences(ddg))
         problems.extend(self._validate_comms(ddg))
-        return problems
+        return [d.with_provenance(loop=self.loop_name) for d in problems]
 
-    def _validate_resources(self) -> list[str]:
-        problems: list[str] = []
+    def _validate_resources(self) -> list[Diagnostic]:
+        problems: list[Diagnostic] = []
         fu_use: dict[tuple[FUClass, int, int], int] = {}
         for op in self.all_placed_ops():
             fu = op.instr.fu_class
@@ -208,7 +214,11 @@ class ModuloSchedule:
         for (fu, cluster, row), used in fu_use.items():
             if used > caps[fu]:
                 problems.append(
-                    f"{fu.value} unit oversubscribed in cluster {cluster} row {row}: {used}"
+                    Diagnostic.new(
+                        "A006",
+                        f"{fu.value} unit oversubscribed in cluster {cluster} "
+                        f"row {row}: {used}",
+                    )
                 )
         bus_use: dict[int, int] = {}
         for comm in self.comms:
@@ -216,7 +226,11 @@ class ModuloSchedule:
             bus_use[row] = bus_use.get(row, 0) + 1
         for row, used in bus_use.items():
             if used > self.config.n_buses:
-                problems.append(f"buses oversubscribed in row {row}: {used}")
+                problems.append(
+                    Diagnostic.new(
+                        "A007", f"buses oversubscribed in row {row}: {used}"
+                    )
+                )
         return problems
 
     def _comm_arrival(self, producer_uid: int, dst_cluster: int) -> int | None:
@@ -229,14 +243,18 @@ class ModuloSchedule:
                     best = arrival
         return best
 
-    def _validate_dependences(self, ddg: DDG) -> list[str]:
-        problems: list[str] = []
+    def _validate_dependences(self, ddg: DDG) -> list[Diagnostic]:
+        problems: list[Diagnostic] = []
         lat_of = {uid: op.latency for uid, op in self.placed.items()}
         for edge in ddg.edges:
             src = self.placed.get(edge.src)
             dst = self.placed.get(edge.dst)
             if src is None or dst is None:
-                problems.append(f"edge {edge} references unplaced instruction")
+                problems.append(
+                    Diagnostic.new(
+                        "A001", f"edge {edge} references unplaced instruction"
+                    )
+                )
                 continue
             latency = edge.latency(lat_of)
             ready = src.start + latency
@@ -245,23 +263,33 @@ class ModuloSchedule:
                 arrival = self._comm_arrival(edge.src, dst.cluster)
                 if arrival is None:
                     problems.append(
-                        f"edge {edge}: cross-cluster value has no comm to c{dst.cluster}"
+                        Diagnostic.new(
+                            "A003",
+                            f"edge {edge}: cross-cluster value has no comm "
+                            f"to c{dst.cluster}",
+                        )
                     )
                     continue
                 ready = arrival
             if ready > due:
                 problems.append(
-                    f"edge {edge}: value ready at {ready} but consumer issues at {due}"
+                    Diagnostic.new(
+                        "A002",
+                        f"edge {edge}: value ready at {ready} but consumer "
+                        f"issues at {due}",
+                    )
                 )
         return problems
 
-    def _validate_comms(self, ddg: DDG) -> list[str]:
-        problems: list[str] = []
+    def _validate_comms(self, ddg: DDG) -> list[Diagnostic]:
+        problems: list[Diagnostic] = []
         lat_of = {uid: op.latency for uid, op in self.placed.items()}
         for comm in self.comms:
             producer = self.placed.get(comm.producer_uid)
             if producer is None:
-                problems.append(f"comm {comm} has unplaced producer")
+                problems.append(
+                    Diagnostic.new("A001", f"comm {comm} has unplaced producer")
+                )
                 continue
             produce_time = producer.start + lat_of.get(comm.producer_uid, 0)
             if producer.instr.is_load:
@@ -272,10 +300,16 @@ class ModuloSchedule:
                 )
             if comm.start < produce_time:
                 problems.append(
-                    f"comm {comm} starts before its value is produced ({produce_time})"
+                    Diagnostic.new(
+                        "A004",
+                        f"comm {comm} starts before its value is produced "
+                        f"({produce_time})",
+                    )
                 )
             if producer.cluster != comm.src_cluster:
-                problems.append(f"comm {comm} src cluster mismatch")
+                problems.append(
+                    Diagnostic.new("A005", f"comm {comm} src cluster mismatch")
+                )
         return problems
 
     # ------------------------------------------------------------------
