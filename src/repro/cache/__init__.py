@@ -1,9 +1,10 @@
 """Maintenance CLI over the on-disk artifact stores.
 
-``python -m repro.cache <command>`` operates on the two cache
+``python -m repro.cache <command>`` operates on the three cache
 directories the pipeline persists — the result store (``ResultCache``,
-``<key>.json``) and the compile-artifact store (``CompiledLoopCache``,
-``<key>.pkl``) — through their shared manifest/GC machinery:
+``<key>.json``), the compile-artifact store (``CompiledLoopCache``,
+``<key>.pkl``) and the fuzz-job store (``repro.fuzz.FuzzStore``,
+``<key>.json``) — through their shared manifest/GC machinery:
 
 * ``stats``  — entry counts, bytes, fingerprint breakdown per store;
 * ``ls``     — per-entry listing (size, age, last hit, description);
@@ -13,8 +14,9 @@ directories the pipeline persists — the result store (``ResultCache``,
   legacy result entries to the current schema (exit 1 if anything was
   corrupt, so CI can assert a restored cache is sound).
 
-Both directories default to the names CI persists (``.result-cache``,
-``.compile-cache``); a missing directory is skipped, never created.
+The directories default to the names CI persists (``.result-cache``,
+``.compile-cache``, ``.fuzz-cache``); a missing directory is skipped,
+never created.
 """
 
 from __future__ import annotations
@@ -67,16 +69,22 @@ def open_stores(args) -> list[tuple[str, object]]:
     Never creates a directory: a maintenance tool that mkdirs the thing
     it is asked to clean up would mask typos.
     """
+    from ..fuzz.store import FuzzStore
+
     stores: list[tuple[str, object]] = []
     result_dir = Path(args.cache_dir)
     compile_dir = Path(args.compile_cache_dir)
+    fuzz_dir = Path(args.fuzz_cache_dir)
     if result_dir.is_dir():
         stores.append(("results", ResultCache(result_dir)))
     if compile_dir.is_dir():
         stores.append(("compile", CompiledLoopCache(compile_dir)))
+    if fuzz_dir.is_dir():
+        stores.append(("fuzz", FuzzStore(fuzz_dir)))
     if not stores:
         print(
-            f"no cache directories found ({result_dir} / {compile_dir})",
+            f"no cache directories found "
+            f"({result_dir} / {compile_dir} / {fuzz_dir})",
             file=sys.stderr,
         )
     return stores
@@ -178,6 +186,11 @@ def main(argv: list[str] | None = None) -> int:
         "--compile-cache-dir",
         default=".compile-cache",
         help="compile-artifact store directory (skipped if missing)",
+    )
+    parser.add_argument(
+        "--fuzz-cache-dir",
+        default=".fuzz-cache",
+        help="fuzz-job store directory (skipped if missing)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

@@ -1,7 +1,13 @@
 """Workloads: the synthetic Mediabench suite and random loop generation."""
 
 from . import kernels
-from .generator import random_loop
+from .generator import (
+    PROFILES,
+    GenProfile,
+    KernelGenotype,
+    random_genotype,
+    random_loop,
+)
 from .kernels import make_column, make_dpcm, make_saxpy
 from .mediabench import (
     BENCHMARK_BUILDERS,
@@ -17,13 +23,17 @@ __all__ = [
     "BENCHMARK_BUILDERS",
     "BENCHMARK_NAMES",
     "Benchmark",
+    "GenProfile",
+    "KernelGenotype",
     "LoopSpec",
     "PAPER_TABLE1",
+    "PROFILES",
     "build",
     "kernels",
     "make_column",
     "make_dpcm",
     "make_saxpy",
+    "random_genotype",
     "random_loop",
     "suite",
 ]

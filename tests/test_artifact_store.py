@@ -286,28 +286,36 @@ class TestCacheCLI:
     def dirs(self, tmp_path):
         result_dir = tmp_path / "results"
         compile_dir = tmp_path / "compile"
+        fuzz_dir = tmp_path / "fuzz"
         request = RunRequest("g721dec", l0_config(8), FAST)
         with Session(options=FAST, cache=ResultCache(result_dir)) as session:
             session.run(request)
         compile_cache = CompiledLoopCache(compile_dir)
         compile_cached(make_saxpy(), l0_config(8), cache=compile_cache)
         compile_cache.flush()
-        return result_dir, compile_dir
+        from repro.fuzz.engine import make_jobs, run_jobs
+        from repro.fuzz.store import FuzzStore
+
+        jobs = make_jobs(["edge:tiny"], ["unified"], ("certify",), spread=False)
+        run_jobs(jobs, store=FuzzStore(fuzz_dir))
+        return result_dir, compile_dir, fuzz_dir
 
     def _argv(self, dirs, *rest):
-        result_dir, compile_dir = dirs
+        result_dir, compile_dir, fuzz_dir = dirs
         return [
             "--cache-dir",
             str(result_dir),
             "--compile-cache-dir",
             str(compile_dir),
+            "--fuzz-cache-dir",
+            str(fuzz_dir),
             *rest,
         ]
 
     def test_stats(self, dirs, capsys):
         assert cache_main(self._argv(dirs, "stats")) == 0
         out = capsys.readouterr().out
-        assert "results:" in out and "compile:" in out
+        assert "results:" in out and "compile:" in out and "fuzz:" in out
         assert "(current)" in out
 
     def test_ls_shows_descriptions(self, dirs, capsys):
@@ -315,17 +323,20 @@ class TestCacheCLI:
         out = capsys.readouterr().out
         assert "g721dec" in out  # result entry description
         assert "saxpy" in out  # compile entry description
+        assert "edge:tiny" in out  # fuzz entry description
 
-    def test_gc_bounds_both_dirs(self, dirs, capsys):
+    def test_gc_bounds_all_dirs(self, dirs, capsys):
         argv = self._argv(dirs, "gc", "--max-bytes", "0", "--min-age", "0")
         assert cache_main(argv) == 0
-        result_dir, compile_dir = dirs
+        result_dir, compile_dir, fuzz_dir = dirs
         leftovers = sorted(p.name for p in result_dir.glob("*.json"))
         assert leftovers in ([], [MANIFEST_NAME])
         assert not list(compile_dir.glob("*.pkl"))
+        fuzz_left = sorted(p.name for p in fuzz_dir.glob("*.json"))
+        assert fuzz_left in ([], [MANIFEST_NAME])
 
     def test_verify_exits_nonzero_on_corruption(self, dirs, capsys):
-        result_dir, _ = dirs
+        result_dir = dirs[0]
         (result_dir / f"{_key(9)}.json").write_text("{torn")
         assert cache_main(self._argv(dirs, "verify")) == 1
         # The corrupt entry was dropped: a second pass is clean.
@@ -337,6 +348,8 @@ class TestCacheCLI:
             str(tmp_path / "absent"),
             "--compile-cache-dir",
             str(tmp_path / "also-absent"),
+            "--fuzz-cache-dir",
+            str(tmp_path / "absent-too"),
             "stats",
         ]
         assert cache_main(argv) == 0
