@@ -16,7 +16,10 @@ directories the pipeline persists — the result store (``ResultCache``,
 
 The directories default to the names CI persists (``.result-cache``,
 ``.compile-cache``, ``.fuzz-cache``); a missing directory is skipped,
-never created.
+never created.  Result stores written sharded by the sweep service
+(``repro.service``) are auto-detected from their hex-prefix shard
+subdirectories and operated on shard by shard — missing shard
+directories are likewise skipped, never created.
 """
 
 from __future__ import annotations
@@ -27,7 +30,7 @@ import sys
 import time
 from pathlib import Path
 
-from ..pipeline.cache import ResultCache, code_fingerprint
+from ..pipeline.cache import ResultCache, ShardedKeyedFileStore, code_fingerprint
 from ..pipeline.compilecache import CompiledLoopCache
 
 _SIZE_UNITS = {"": 1, "K": 1024, "M": 1024**2, "G": 1024**3}
@@ -100,6 +103,9 @@ def cmd_stats(args) -> int:
             name = e.fingerprint or "unknown"
             by_fp[name] = by_fp.get(name, 0) + 1
         print(f"{label}: {cache.store.path}")
+        if isinstance(cache.store, ShardedKeyedFileStore):
+            shards = len(cache.store.shard_stores())
+            print(f"  sharded: {shards} shards (prefix width {cache.store.width})")
         print(f"  entries: {len(entries)}  bytes: {total} ({format_size(total)})")
         for fp, count in sorted(by_fp.items(), key=lambda kv: -kv[1]):
             tag = " (current)" if fp == current else ""

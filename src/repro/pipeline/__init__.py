@@ -23,11 +23,13 @@ from .cache import (
     RESULT_SCHEMA_VERSION,
     KeyedFileStore,
     ResultCache,
+    ShardedKeyedFileStore,
     cache_key,
     code_fingerprint,
     decode_result,
     describe_config,
     describe_options,
+    detect_shard_width,
     encode_result,
     result_fingerprint,
     result_schema_digest,
@@ -45,8 +47,10 @@ from .compilecache import (
 )
 from .executor import (
     ParallelExecutor,
+    RequestError,
     RunRequest,
     SerialExecutor,
+    describe_request,
     execute_request,
     make_executor,
     shared_executor,
@@ -90,10 +94,12 @@ __all__ = [
     "PassManager",
     "PassOrderError",
     "PipelineError",
+    "RequestError",
     "ResultCache",
     "RunRequest",
     "SerialExecutor",
     "Session",
+    "ShardedKeyedFileStore",
     "StoreManifest",
     "VerifyReport",
     "available_passes",
@@ -106,6 +112,8 @@ __all__ = [
     "default_pass_manager",
     "describe_config",
     "describe_options",
+    "describe_request",
+    "detect_shard_width",
     "drop_compile_cache",
     "encode_result",
     "execute_request",

@@ -121,11 +121,18 @@ def _result_classes() -> dict[str, type]:
 
 
 def encode_result(value):
-    """Encode a result record (nested dataclasses of scalars) as JSON data."""
+    """Encode a result record (nested dataclasses of scalars) as JSON data.
+
+    Plain dicts (``ProgramResult.meta``) are allowed with string keys;
+    ``__type__`` is reserved as the dataclass tag."""
     if is_dataclass(value) and not isinstance(value, type):
         data = {f.name: encode_result(getattr(value, f.name)) for f in fields(value)}
         data["__type__"] = type(value).__name__
         return data
+    if isinstance(value, dict):
+        if "__type__" in value:
+            raise TypeError("result dicts must not carry a __type__ key")
+        return {str(k): encode_result(v) for k, v in value.items()}
     if isinstance(value, (list, tuple)):
         return [encode_result(v) for v in value]
     if value is None or isinstance(value, (bool, int, float, str)):
@@ -137,7 +144,10 @@ def decode_result(data):
     if isinstance(data, dict):
         name = data.get("__type__")
         if name is None:
-            raise ValueError("result store entry missing __type__ tag")
+            # A plain mapping (e.g. ProgramResult.meta); the top-level
+            # envelope decode still insists on a ProgramResult, so a
+            # tag-stripped entry is caught there as corruption.
+            return {k: decode_result(v) for k, v in data.items()}
         cls = _result_classes().get(name)
         if cls is None:
             raise ValueError(f"result store references unknown type {name!r}")
@@ -164,12 +174,12 @@ def result_fingerprint(result: ProgramResult) -> str:
 #: as the *schema* is unchanged.  Bump this whenever a stat dataclass
 #: gains, loses or renames a field — the pinned
 #: :func:`result_schema_digest` test will insist.
-RESULT_SCHEMA_VERSION = 3  # v3: Loop(Run)Result simulated_iterations/extrapolated
+RESULT_SCHEMA_VERSION = 4  # v4: ProgramResult.meta provenance annotations
 
 #: Expected value of :func:`result_schema_digest` for
 #: :data:`RESULT_SCHEMA_VERSION`.  A test recomputes the digest from
 #: the live dataclasses; if they drift without a version bump it fails.
-RESULT_SCHEMA_DIGEST = "c59ecb2af5ce0c2d"
+RESULT_SCHEMA_DIGEST = "983bd4da05394927"
 
 
 def result_schema_digest() -> str:
@@ -294,6 +304,10 @@ class KeyedFileStore:
         self.manifest.reset()
 
     # -- introspection and maintenance ----------------------------------
+
+    def flush(self) -> None:
+        """Persist buffered manifest updates (recency hits, new rows)."""
+        self.manifest.flush()
 
     def entries(self):
         """Manifest view reconciled against the directory (see
@@ -433,6 +447,156 @@ class KeyedFileStore:
         return report
 
 
+# ----------------------------------------------------------------------
+# Sharded store
+# ----------------------------------------------------------------------
+
+#: Shard-prefix widths a store may use (1 hex char = 16 shards, 2 = 256).
+SHARD_WIDTHS = (1, 2)
+
+
+def _is_shard_name(name: str, width: int) -> bool:
+    return len(name) == width and all(c in "0123456789abcdef" for c in name)
+
+
+def detect_shard_width(path: str | Path) -> int | None:
+    """Shard-prefix width of an existing store directory, ``None`` if flat.
+
+    A sharded store is recognised by its hex-prefix subdirectories
+    (``0``..``f`` or ``00``..``ff``); a flat store has none.  Used so
+    maintenance tooling and resumed sweeps open a directory the way it
+    was written without being told.
+    """
+    path = Path(path)
+    if not path.is_dir():
+        return None
+    for width in SHARD_WIDTHS:
+        for child in sorted(path.iterdir()):
+            if child.is_dir() and _is_shard_name(child.name, width):
+                return width
+    return None
+
+
+class ShardedKeyedFileStore:
+    """A :class:`KeyedFileStore` partitioned by key prefix.
+
+    Entry ``<key>`` lives in ``path/<key[:width]>/<key><suffix>``, and
+    every shard directory carries its *own* sidecar manifest.  That is
+    the point: N workers writing results land on different shards with
+    probability ``1 - 1/16**width``, so their read-merge-write manifest
+    flushes (and GC passes) stop contending on a single ``manifest.json``.
+
+    The read/maintenance surface mirrors :class:`KeyedFileStore`
+    (``load``/``save``/``entries``/``gc``/``verify``/``clear``/``flush``)
+    but only ``save`` ever creates a shard directory — lookups and
+    maintenance skip missing shards, so pointing a tool at an empty or
+    partially populated store never litters it with empty dirs.
+    """
+
+    def __init__(
+        self, path: str | Path, suffix: str, encode, decode, *, width: int = 1
+    ) -> None:
+        if width not in SHARD_WIDTHS:
+            raise ValueError(f"shard width must be one of {SHARD_WIDTHS}: {width}")
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self.suffix = suffix
+        self.width = width
+        self._encode = encode
+        self._decode = decode
+        self._shards: dict[str, KeyedFileStore] = {}
+
+    def _shard(self, key: str, *, create: bool) -> KeyedFileStore | None:
+        name = key[: self.width]
+        store = self._shards.get(name)
+        if store is None:
+            if not create and not (self.path / name).is_dir():
+                return None  # read path: a missing shard is a miss, not a mkdir
+            store = KeyedFileStore(
+                self.path / name, self.suffix, self._encode, self._decode
+            )
+            self._shards[name] = store
+        return store
+
+    def shard_stores(self) -> list[KeyedFileStore]:
+        """Sub-stores for every shard directory that exists, sorted."""
+        out: list[KeyedFileStore] = []
+        for child in sorted(self.path.iterdir()):
+            if child.is_dir() and _is_shard_name(child.name, self.width):
+                store = self._shards.get(child.name)
+                if store is None:
+                    store = KeyedFileStore(
+                        child, self.suffix, self._encode, self._decode
+                    )
+                    self._shards[child.name] = store
+                out.append(store)
+        return out
+
+    def load(self, key: str):
+        store = self._shard(key, create=False)
+        return None if store is None else store.load(key)
+
+    def save(self, key: str, value, *, description: dict | None = None) -> None:
+        self._shard(key, create=True).save(key, value, description=description)
+
+    def clear(self) -> None:
+        for store in self.shard_stores():
+            store.clear()
+
+    def flush(self) -> None:
+        for store in self.shard_stores():
+            store.flush()
+
+    def entries(self) -> dict[str, ManifestEntry]:
+        out: dict[str, ManifestEntry] = {}
+        for store in self.shard_stores():
+            out.update(store.entries())
+        return out
+
+    def total_bytes(self) -> int:
+        return sum(e.size for e in self.entries().values())
+
+    def gc(
+        self,
+        *,
+        max_bytes: int | None = None,
+        keep_fingerprints=None,
+        min_age_s: float = 0.0,
+    ) -> GCReport:
+        """Per-shard GC, aggregated into one report.
+
+        The size cap divides evenly across the existing shards — content
+        keys are uniform sha256, so an even split is a global cap in
+        expectation, and keeping each shard's GC independent is exactly
+        what lets many workers collect without a store-wide lock.
+        """
+        shards = self.shard_stores()
+        report = GCReport(path=str(self.path))
+        per_shard = None if max_bytes is None else max_bytes // max(1, len(shards))
+        for store in shards:
+            sub = store.gc(
+                max_bytes=per_shard,
+                keep_fingerprints=keep_fingerprints,
+                min_age_s=min_age_s,
+            )
+            report.entries_before += sub.entries_before
+            report.bytes_before += sub.bytes_before
+            report.entries_after += sub.entries_after
+            report.bytes_after += sub.bytes_after
+            report.evicted.extend(sub.evicted)
+            report.orphans.extend(sub.orphans)
+        return report
+
+    def verify(self, *, migrate=None) -> VerifyReport:
+        report = VerifyReport(path=str(self.path))
+        for store in self.shard_stores():
+            sub = store.verify(migrate=migrate)
+            report.ok += sub.ok
+            report.corrupt.extend(sub.corrupt)
+            report.migrated.extend(sub.migrated)
+        return report
+
+
 def _encode_result_bytes(result: ProgramResult) -> bytes:
     """Current (v2) layout: a versioned envelope around the stat fields."""
     envelope = {
@@ -451,10 +615,14 @@ def _decode_result_bytes(data: bytes) -> ProgramResult:
                 f"result entry has schema {payload['schema']!r}, "
                 f"this code reads {RESULT_SCHEMA_VERSION}"
             )
-        return decode_result(payload["result"])
-    # Legacy (v1) entry: the bare encode_result payload, un-versioned.
-    # Still decodable — verify/migrate rewrites it into the envelope.
-    return decode_result(payload)
+        decoded = decode_result(payload["result"])
+    else:
+        # Legacy (v1) entry: the bare encode_result payload, un-versioned.
+        # Still decodable — verify/migrate rewrites it into the envelope.
+        decoded = decode_result(payload)
+    if not isinstance(decoded, ProgramResult):
+        raise ValueError("result entry does not decode to a ProgramResult")
+    return decoded
 
 
 def _migrate_result_bytes(data: bytes) -> bytes | None:
@@ -476,19 +644,39 @@ def _migrate_result_bytes(data: bytes) -> bytes | None:
 
 
 class ResultCache:
-    """In-memory result cache with an optional on-disk JSON store."""
+    """In-memory result cache with an optional on-disk JSON store.
 
-    def __init__(self, path: str | Path | None = None) -> None:
+    ``shard_width=None`` (the default) auto-detects: a directory that
+    already contains hex-prefix shard subdirectories opens sharded, any
+    other opens flat.  ``shard_width=0`` forces flat; 1 or 2 force (or
+    create) a sharded layout — the sweep service's many-writer mode.
+    """
+
+    def __init__(
+        self, path: str | Path | None = None, *, shard_width: int | None = None
+    ) -> None:
         self._memory: dict[str, ProgramResult] = {}
         self.path = Path(path) if path is not None else None
-        self._store = (
-            KeyedFileStore(path, ".json", _encode_result_bytes, _decode_result_bytes)
-            if path is not None
-            else None
-        )
+        if path is None:
+            self._store = None
+        else:
+            if shard_width is None:
+                shard_width = detect_shard_width(path) or 0
+            if shard_width:
+                self._store = ShardedKeyedFileStore(
+                    path,
+                    ".json",
+                    _encode_result_bytes,
+                    _decode_result_bytes,
+                    width=shard_width,
+                )
+            else:
+                self._store = KeyedFileStore(
+                    path, ".json", _encode_result_bytes, _decode_result_bytes
+                )
 
     @property
-    def store(self) -> KeyedFileStore | None:
+    def store(self) -> KeyedFileStore | ShardedKeyedFileStore | None:
         return self._store
 
     def get(self, key: str) -> ProgramResult | None:
@@ -500,10 +688,18 @@ class ResultCache:
         return result
 
     def put(
-        self, key: str, result: ProgramResult, *, description: dict | None = None
+        self,
+        key: str,
+        result: ProgramResult,
+        *,
+        description: dict | None = None,
+        persist: bool = True,
     ) -> None:
+        """Record a result.  ``persist=False`` keeps it memory-only —
+        used when another process (a sweep-service worker) already wrote
+        the disk entry, so the server must not write it a second time."""
         self._memory[key] = result
-        if self._store is not None:
+        if persist and self._store is not None:
             self._store.save(key, result, description=description)
 
     def clear(self) -> None:
@@ -517,7 +713,7 @@ class ResultCache:
     def flush(self) -> None:
         """Persist any buffered manifest updates (recency hits)."""
         if self._store is not None:
-            self._store.manifest.flush()
+            self._store.flush()
 
     def gc(self, **kwargs) -> GCReport:
         if self._store is None:

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from ..machine.config import MachineConfig
 from ..sim.runner import SimOptions
 from ..sim.stats import ProgramResult
-from .cache import cache_key
+from .cache import cache_key, describe_config, describe_options
 
 
 @dataclass(frozen=True)
@@ -34,14 +34,65 @@ class RunRequest:
         return cache_key(self.benchmark, self.config, self.options)
 
 
+def describe_request(request: RunRequest) -> dict:
+    """Human-readable description of one run: what someone needs to
+    recognise it (benchmark, scheduler, non-default config/options).
+    Used for store-manifest rows and dead-letter records alike."""
+    return {
+        "benchmark": request.benchmark,
+        "scheduler": request.options.scheduler,
+        "config": describe_config(request.config),
+        "options": describe_options(request.options),
+    }
+
+
+class RequestError(RuntimeError):
+    """A worker-side failure tagged with the request that caused it.
+
+    Raw exceptions surfaced through ``executor.map`` are useless for a
+    sweep operator: a ``KeyError`` from a pool worker names neither the
+    benchmark nor the configuration that blew up.  ``execute_request``
+    wraps every failure in this type, carrying the content key and the
+    human description, so retry layers can file an actionable
+    dead-letter record.  All state rides in ``args`` so the exception
+    pickles across process boundaries intact.
+    """
+
+    def __init__(
+        self, key: str, description: dict, cause_type: str, cause_message: str
+    ) -> None:
+        super().__init__(key, description, cause_type, cause_message)
+        self.key = key
+        self.description = description
+        self.cause_type = cause_type
+        self.cause_message = cause_message
+
+    def __str__(self) -> str:
+        what = self.description.get("benchmark", "?")
+        return (
+            f"{self.cause_type}: {self.cause_message} "
+            f"(job {self.key[:12]}, benchmark {what!r}, {self.description})"
+        )
+
+
 def execute_request(request: RunRequest) -> ProgramResult:
-    """Compile and simulate one request (module-level: picklable)."""
+    """Compile and simulate one request (module-level: picklable).
+
+    Failures are re-raised as :class:`RequestError` so the originating
+    job key and configuration survive the trip back through a process
+    pool (the raw exception stays chained as ``__cause__`` locally).
+    """
     from ..sim.runner import run_program
     from ..workloads.mediabench import build
 
-    return run_program(
-        build(request.benchmark), request.config, options=request.options
-    )
+    try:
+        return run_program(
+            build(request.benchmark), request.config, options=request.options
+        )
+    except Exception as exc:
+        raise RequestError(
+            request.key, describe_request(request), type(exc).__name__, str(exc)
+        ) from exc
 
 
 class SerialExecutor:

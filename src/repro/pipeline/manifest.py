@@ -206,7 +206,15 @@ class StoreManifest:
     # -- reading --------------------------------------------------------
 
     def _read(self) -> dict[str, ManifestEntry]:
-        """The on-disk manifest, empty on corruption (never a crash)."""
+        """The on-disk manifest, empty on corruption (never a crash).
+
+        The manifest is advisory, so *any* failure to decode it — not
+        just the common malformed-JSON cases — means "rebuild from the
+        directory scan and continue".  A bare ``except Exception``
+        is deliberate: adversarially corrupt bytes can raise surprises
+        (e.g. ``RecursionError`` from deeply nested arrays), and a
+        sidecar file must never be able to abort a sweep mid-``gc``.
+        """
         try:
             data = json.loads(self.file.read_bytes())
             if data.get("schema") != MANIFEST_SCHEMA_VERSION:
@@ -217,7 +225,7 @@ class StoreManifest:
                 for key, value in raw.items()
                 if _is_key(key)
             }
-        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+        except Exception:
             return {}
 
     def _merged(self) -> dict[str, ManifestEntry]:

@@ -24,19 +24,8 @@ from typing import Iterable, Sequence
 from ..machine.config import MachineConfig
 from ..sim.runner import SimOptions
 from ..sim.stats import ProgramResult
-from .cache import ResultCache, code_fingerprint, describe_config, describe_options
-from .executor import RunRequest, execute_request, make_executor
-
-
-def _describe_request(request: RunRequest) -> dict:
-    """Manifest description of one run: what a human needs to recognise
-    the entry (benchmark, scheduler, non-default config/options)."""
-    return {
-        "benchmark": request.benchmark,
-        "scheduler": request.options.scheduler,
-        "config": describe_config(request.config),
-        "options": describe_options(request.options),
-    }
+from .cache import ResultCache, code_fingerprint
+from .executor import RunRequest, describe_request, execute_request, make_executor
 
 
 class Session:
@@ -77,7 +66,7 @@ class Session:
         if result is None:
             result = execute_request(request)
             self.simulations += 1
-            self.cache.put(key, result, description=_describe_request(request))
+            self.cache.put(key, result, description=describe_request(request))
         elif key not in self._seen:
             self.cache_hits += 1
         self._seen.add(key)
@@ -104,7 +93,7 @@ class Session:
             fresh = self.executor.map(list(missing.values()))
             self.simulations += len(missing)
             for (key, request), result in zip(missing.items(), fresh):
-                self.cache.put(key, result, description=_describe_request(request))
+                self.cache.put(key, result, description=describe_request(request))
                 resolved[key] = result
         return [resolved[key] for key in keys]
 

@@ -1,0 +1,74 @@
+"""Fault-tolerant sweep service.
+
+A supervised async job queue for simulation sweeps: worker processes
+under a heartbeat/deadline watchdog (crashed and wedged workers are
+restarted and their jobs re-queued), bounded retries with deterministic
+backoff and typed dead letters, request coalescing through the result
+cache, shard-partitioned result storage, a journaled checkpoint for
+crash-safe resume, and a seeded chaos harness that drills all of it.
+
+Layering (bottom up):
+
+* :mod:`.retry`      — pure retry policy: backoff, jitter, failure taxonomy
+* :mod:`.faults`     — seeded fault plans (kill/hang/truncate) + injection
+* :mod:`.supervisor` — worker fleet, watchdog, retry/dead-letter loop
+* :mod:`.checkpoint` — atomic-rename sweep journal for resume
+* :mod:`.server`     — coalescing service, degradation ladder, executor facade
+* :mod:`.drill`      — the chaos drill (also the ``chaos-smoke`` CI lane)
+"""
+
+from .checkpoint import CHECKPOINT_SCHEMA, SweepCheckpoint
+from .drill import DRILL_POLICY, run_drill
+from .faults import FAULT_KINDS, Fault, FaultPlan, truncate_entry
+from .retry import (
+    FAILURE_KINDS,
+    Dead,
+    JobAttempts,
+    JobFailure,
+    JobFailureError,
+    Retry,
+    RetryPolicy,
+    backoff_delay,
+    jitter_fraction,
+)
+from .server import (
+    GRIDS,
+    SupervisedExecutor,
+    SweepReport,
+    SweepService,
+    degrade_request,
+    requests_from_spec,
+    run_sweep,
+    sweep_spec,
+)
+from .supervisor import Supervisor, SupervisorStats
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "DRILL_POLICY",
+    "FAILURE_KINDS",
+    "FAULT_KINDS",
+    "GRIDS",
+    "Dead",
+    "Fault",
+    "FaultPlan",
+    "JobAttempts",
+    "JobFailure",
+    "JobFailureError",
+    "Retry",
+    "RetryPolicy",
+    "Supervisor",
+    "SupervisorStats",
+    "SupervisedExecutor",
+    "SweepCheckpoint",
+    "SweepReport",
+    "SweepService",
+    "backoff_delay",
+    "degrade_request",
+    "jitter_fraction",
+    "requests_from_spec",
+    "run_drill",
+    "run_sweep",
+    "sweep_spec",
+    "truncate_entry",
+]

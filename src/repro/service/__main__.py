@@ -1,0 +1,165 @@
+"""Entry point: ``python -m repro.service <sweep|resume|drill>``.
+
+* ``sweep``  — run a named config grid over benchmarks through the
+  fault-tolerant service: supervised workers, retries, a sharded result
+  store and a journaled checkpoint.
+* ``resume`` — pick a dead sweep back up from its checkpoint: the
+  request list is rebuilt from the journaled spec and only jobs missing
+  from the store execute.
+* ``drill``  — the chaos drill (kill/hang/truncate faults, concurrent
+  clients, mid-sweep server crash + resume); exit 1 unless every check
+  is green.  This is the CI ``chaos-smoke`` lane.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from pathlib import Path
+
+from .checkpoint import SweepCheckpoint
+from .drill import run_drill
+from .retry import RetryPolicy
+from .server import GRIDS, run_sweep, sweep_spec
+
+
+def _policy(args) -> RetryPolicy:
+    return RetryPolicy(
+        max_attempts=args.job_retries,
+        timeout_s=args.job_timeout,
+    )
+
+
+def _print_report(report: dict, json_path: str | None) -> None:
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print(text)
+    if json_path is not None:
+        Path(json_path).write_text(text + "\n")
+
+
+def cmd_sweep(args) -> int:
+    spec = sweep_spec(args.benchmarks, args.grid, sim_cap=args.sim_cap)
+    report = asyncio.run(
+        run_sweep(
+            spec,
+            store_dir=args.store_dir,
+            checkpoint_path=args.checkpoint,
+            workers=args.workers,
+            policy=_policy(args),
+            degrade=not args.no_degrade,
+        )
+    )
+    _print_report(report.to_json(), args.json)
+    return 1 if report.dead else 0
+
+
+def cmd_resume(args) -> int:
+    checkpoint = SweepCheckpoint.load(args.checkpoint)
+    if checkpoint is None or not checkpoint.spec:
+        print(f"no resumable checkpoint at {args.checkpoint}", file=sys.stderr)
+        return 1
+    report = asyncio.run(
+        run_sweep(
+            checkpoint.spec,
+            store_dir=args.store_dir,
+            checkpoint_path=args.checkpoint,
+            workers=args.workers,
+            policy=_policy(args),
+            degrade=not args.no_degrade,
+        )
+    )
+    _print_report(report.to_json(), args.json)
+    return 1 if report.dead else 0
+
+
+def cmd_drill(args) -> int:
+    report = run_drill(
+        seed=args.seed,
+        workers=args.workers,
+        clients=args.clients,
+        benchmarks=args.benchmarks,
+        grid=args.grid,
+        sim_cap=args.sim_cap,
+        kills=args.kills,
+        hangs=args.hangs,
+        truncates=args.truncates,
+        phases=tuple(args.phases.split(",")),
+    )
+    _print_report(report, args.json)
+    if not report["ok"]:
+        for failure in report["failures"]:
+            print(f"DRILL FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Fault-tolerant sweep service and its chaos drill.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workers", type=int, default=2, help="worker processes")
+        p.add_argument(
+            "--job-timeout",
+            type=float,
+            default=600.0,
+            help="per-attempt deadline in seconds",
+        )
+        p.add_argument(
+            "--job-retries",
+            type=int,
+            default=3,
+            help="attempts per job before it dead-letters",
+        )
+        p.add_argument(
+            "--no-degrade",
+            action="store_true",
+            help="disable the degradation ladder (exact->sms, "
+            "fast->reference); dead-letter instead",
+        )
+        p.add_argument("--json", default=None, help="also write the report here")
+
+    sweep = sub.add_parser("sweep", help="run a grid through the service")
+    common(sweep)
+    sweep.add_argument("--benchmarks", nargs="+", default=["g721dec", "gsmdec"])
+    sweep.add_argument("--grid", choices=sorted(GRIDS), default="fig5")
+    sweep.add_argument("--sim-cap", type=int, default=1500)
+    sweep.add_argument("--store-dir", default=".result-cache")
+    sweep.add_argument("--checkpoint", default=".sweep-checkpoint.json")
+
+    resume = sub.add_parser("resume", help="resume a sweep from its checkpoint")
+    common(resume)
+    resume.add_argument("--store-dir", default=".result-cache")
+    resume.add_argument("--checkpoint", default=".sweep-checkpoint.json")
+
+    drill = sub.add_parser("drill", help="run the chaos drill (CI lane)")
+    drill.add_argument("--seed", type=int, default=0)
+    drill.add_argument("--workers", type=int, default=3)
+    drill.add_argument("--clients", type=int, default=4)
+    drill.add_argument("--benchmarks", nargs="+", default=["g721dec", "gsmdec"])
+    drill.add_argument("--grid", choices=sorted(GRIDS), default="fig5")
+    drill.add_argument("--sim-cap", type=int, default=60)
+    drill.add_argument("--kills", type=int, default=1)
+    drill.add_argument("--hangs", type=int, default=1)
+    drill.add_argument("--truncates", type=int, default=1)
+    drill.add_argument(
+        "--phases",
+        default="chaos,resume",
+        help="comma-separated subset of chaos,resume",
+    )
+    drill.add_argument("--json", default=None)
+
+    args = parser.parse_args(argv)
+    handler = {"sweep": cmd_sweep, "resume": cmd_resume, "drill": cmd_drill}[
+        args.command
+    ]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

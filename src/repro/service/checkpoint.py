@@ -1,0 +1,119 @@
+"""Crash-safe sweep checkpoint: journaled progress for resume.
+
+The content-addressed result store already makes completed simulations
+durable; what it cannot answer after a dead server is *what the sweep
+was* (which grid, which benchmarks, which options) and *which jobs were
+written off as dead letters*.  The checkpoint journals exactly that —
+the sweep spec plus done/dead key sets — under the same single-file
+atomic-rename discipline as :class:`~repro.pipeline.manifest.StoreManifest`:
+rewrite to a per-process tmp name, ``replace`` into place, so a reader
+(or a restarted server) sees either the old snapshot or the new one,
+never a torn one.
+
+Unlike the manifest, the checkpoint is single-writer (one server owns
+one sweep), so there is no read-merge-write dance; and a corrupt or
+missing checkpoint degrades to "start fresh" — the result cache then
+ensures already-simulated jobs are instant hits, so the only cost of a
+lost checkpoint is re-*checking* work, never re-*doing* it.  Done keys
+mix the code fingerprint (they are cache keys), so a checkpoint left by
+a different build self-invalidates: none of its keys match the resumed
+sweep's, and every job re-runs as it must.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .retry import JobFailure
+
+CHECKPOINT_SCHEMA = 1
+
+
+@dataclass
+class SweepCheckpoint:
+    """Journal of one sweep's identity and progress.
+
+    ``spec`` is an opaque JSON-able description of the sweep (the server
+    records benchmarks, grid name and option knobs) used by ``resume``
+    to rebuild the request list without the caller re-specifying it.
+    ``flush_every`` bounds rewrite traffic the same way the store
+    manifest does; ``mark_done``/``mark_dead`` flush on the interval and
+    callers flush once more at the end.
+    """
+
+    path: Path
+    spec: dict = field(default_factory=dict)
+    done: set[str] = field(default_factory=set)
+    dead: dict[str, JobFailure] = field(default_factory=dict)
+    flush_every: int = 8
+    _dirty: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        self.path = Path(self.path)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SweepCheckpoint | None":
+        """Read a checkpoint; ``None`` if absent or unreadable.
+
+        Corruption (torn bytes despite the atomic-rename discipline,
+        e.g. a copied-around file) means "no checkpoint": the sweep
+        starts fresh and the result cache absorbs the cost.
+        """
+        path = Path(path)
+        try:
+            data = json.loads(path.read_bytes())
+            if data.get("schema") != CHECKPOINT_SCHEMA:
+                return None
+            return cls(
+                path=path,
+                spec=dict(data["spec"]),
+                done=set(map(str, data["done"])),
+                dead={
+                    str(k): JobFailure.from_json(v)
+                    for k, v in data["dead"].items()
+                },
+            )
+        except Exception:
+            return None
+
+    def mark_done(self, key: str) -> None:
+        self.done.add(key)
+        self.dead.pop(key, None)
+        self._note()
+
+    def mark_dead(self, failure: JobFailure) -> None:
+        self.dead[failure.key] = failure
+        self._note()
+
+    def _note(self) -> None:
+        self._dirty += 1
+        if self._dirty >= self.flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Atomically rewrite the journal (tmp + rename; best-effort)."""
+        self._dirty = 0
+        payload = {
+            "schema": CHECKPOINT_SCHEMA,
+            "spec": self.spec,
+            "done": sorted(self.done),
+            "dead": {k: f.to_json() for k, f in sorted(self.dead.items())},
+        }
+        tmp = self.path.with_name(f".{self.path.name}.{os.getpid()}.tmp")
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+            tmp.replace(self.path)
+        except OSError:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+    def remaining(self, keys) -> list[str]:
+        """Keys of ``keys`` not yet done — dead letters are retried on
+        resume (a restart is an operator action; give them a new life)."""
+        return [k for k in keys if k not in self.done]

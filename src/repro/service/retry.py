@@ -1,0 +1,181 @@
+"""Retry policy: per-job timeouts, bounded backoff, typed failures.
+
+Everything here is pure data + pure functions of ``(policy, key,
+attempt)`` — no clocks, no sleeps — so the supervisor can schedule
+retries against ``time.monotonic`` while tests drive the exact same
+code under a fake clock.  Jitter is *deterministic*: derived from a
+sha256 of the job key and attempt number, so two runs of the same sweep
+back off identically (the project-wide "a run is fully determined by
+its inputs" discipline extends to failure handling), while distinct
+jobs still de-synchronise instead of thundering back in lock-step.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+#: Failure classification, in escalation order.
+#:
+#: * ``error``   — the job itself raised (deterministic; retrying is
+#:   usually futile, so errors are terminal unless ``retry_errors``);
+#: * ``timeout`` — the job exceeded its per-attempt deadline and the
+#:   worker was killed;
+#: * ``hung``    — the worker stopped heartbeating mid-job and was
+#:   killed (a wedged process, not merely a slow one);
+#: * ``crash``   — the worker process died under the job (SIGKILL, OOM,
+#:   segfault).
+FAILURE_KINDS = ("error", "timeout", "hung", "crash")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try before a job is declared dead."""
+
+    #: Total attempts a job may consume (first run included).
+    max_attempts: int = 3
+    #: Per-attempt wall-clock deadline; ``None`` disables (the
+    #: heartbeat watchdog still catches wedged workers).
+    timeout_s: float | None = 120.0
+    #: A busy worker silent for longer than this is declared hung and
+    #: killed.  Heartbeats tick every ``heartbeat_interval_s``.
+    heartbeat_timeout_s: float = 10.0
+    heartbeat_interval_s: float = 0.5
+    #: Exponential backoff: ``base * multiplier**(attempt-1)``, capped.
+    base_delay_s: float = 0.1
+    max_delay_s: float = 5.0
+    multiplier: float = 2.0
+    #: Fraction of the delay added as deterministic jitter in [0, jitter).
+    jitter: float = 0.5
+    #: Retry ``error``-kind failures too (default: an exception is
+    #: deterministic, so the job goes straight to the dead letters).
+    retry_errors: bool = False
+
+    def retryable(self, kind: str) -> bool:
+        if kind not in FAILURE_KINDS:
+            raise ValueError(f"unknown failure kind {kind!r}")
+        return kind != "error" or self.retry_errors
+
+
+def jitter_fraction(key: str, attempt: int) -> float:
+    """Deterministic stand-in for ``random.random()`` in [0, 1)."""
+    digest = hashlib.sha256(f"{key}:{attempt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def backoff_delay(policy: RetryPolicy, key: str, attempt: int) -> float:
+    """Seconds to wait before re-queuing ``key``'s ``attempt``-th retry.
+
+    ``attempt`` is the number of attempts already consumed (>= 1).  The
+    exponential raw delay is capped at ``max_delay_s`` *before* jitter,
+    so the cap stays meaningful: the worst case is
+    ``max_delay_s * (1 + jitter)``.
+    """
+    if attempt < 1:
+        raise ValueError("backoff is only defined after a failed attempt")
+    raw = min(
+        policy.base_delay_s * policy.multiplier ** (attempt - 1),
+        policy.max_delay_s,
+    )
+    return raw * (1.0 + policy.jitter * jitter_fraction(key, attempt))
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """Terminal record of a job the service gave up on (dead letter).
+
+    Carries everything an operator needs to act on it without grepping
+    worker logs: the content key, the human description (benchmark,
+    scheduler, non-default config/options — see
+    :func:`~repro.pipeline.executor.describe_request`), the
+    classification of the *last* failure, and how many attempts were
+    burned.
+    """
+
+    key: str
+    kind: str
+    attempts: int
+    detail: str = ""
+    description: dict | None = None
+
+    def to_json(self) -> dict:
+        return {
+            "key": self.key,
+            "kind": self.kind,
+            "attempts": self.attempts,
+            "detail": self.detail,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "JobFailure":
+        return cls(
+            key=str(data["key"]),
+            kind=str(data["kind"]),
+            attempts=int(data["attempts"]),
+            detail=str(data.get("detail", "")),
+            description=data.get("description"),
+        )
+
+
+class JobFailureError(RuntimeError):
+    """Raised to awaiters when a job dead-letters."""
+
+    def __init__(self, failure: JobFailure) -> None:
+        super().__init__(failure)
+        self.failure = failure
+
+    def __str__(self) -> str:
+        f = self.failure
+        return (
+            f"job {f.key[:12]} dead after {f.attempts} attempts "
+            f"({f.kind}): {f.detail} [{f.description}]"
+        )
+
+
+@dataclass(frozen=True)
+class Retry:
+    """Decision: run the job again after ``delay_s``."""
+
+    delay_s: float
+    attempt: int  # attempts consumed so far
+
+
+@dataclass(frozen=True)
+class Dead:
+    """Decision: give up; ``failure`` goes to the dead-letter list."""
+
+    failure: JobFailure
+
+
+@dataclass
+class JobAttempts:
+    """Per-job attempt ledger (clock-free, supervisor-owned).
+
+    ``decide`` classifies one failed attempt into :class:`Retry` (with a
+    deterministic backoff delay) or :class:`Dead` (a typed terminal
+    record).  The ledger never sleeps — callers schedule the delay.
+    """
+
+    key: str
+    description: dict | None = None
+    attempts: int = 0
+    failures: list[tuple[str, str]] = field(default_factory=list)
+
+    def decide(self, policy: RetryPolicy, kind: str, detail: str = "") -> Retry | Dead:
+        self.attempts += 1
+        self.failures.append((kind, detail))
+        if policy.retryable(kind) and self.attempts < policy.max_attempts:
+            return Retry(
+                delay_s=backoff_delay(policy, self.key, self.attempts),
+                attempt=self.attempts,
+            )
+        return Dead(
+            JobFailure(
+                key=self.key,
+                kind=kind,
+                attempts=self.attempts,
+                detail=detail,
+                description=self.description,
+            )
+        )

@@ -1,0 +1,509 @@
+"""Supervised process-pool job queue: the service's execution core.
+
+``concurrent.futures.ProcessPoolExecutor`` is the wrong substrate for a
+fault-*tolerant* service: one SIGKILL'd worker poisons the whole pool
+(``BrokenProcessPool``) and takes every in-flight job with it.  The
+:class:`Supervisor` owns its workers directly — one
+``multiprocessing.Process`` + duplex pipe each — and an asyncio loop
+that dispatches queued jobs, drains results, and *watches*:
+
+* a worker process that died (SIGKILL, OOM, segfault) is detected via
+  ``Process.is_alive``/pipe EOF, restarted, and its job re-queued as a
+  ``crash``;
+* a busy worker whose heartbeat thread has gone silent past the
+  policy's ``heartbeat_timeout_s`` is declared ``hung``, SIGKILLed and
+  replaced (its job re-queued);
+* a job past its per-attempt ``timeout_s`` is classified ``timeout``
+  the same way (slow is distinct from wedged: heartbeats keep flowing
+  during a long simulation, so only the deadline catches it).
+
+Failed attempts go through :class:`~repro.service.retry.JobAttempts`:
+bounded retries with exponential backoff and deterministic jitter,
+then — optionally — one pass through a *degradation ladder* (a hook
+that may rewrite the payload, e.g. exact→SMS scheduling), and finally a
+typed :class:`JobFailure` dead letter.  A poisoned job can therefore
+never wedge the queue: it burns its attempts and lands in
+``stats.dead`` while every other job keeps flowing.
+
+Chaos faults (:mod:`repro.service.faults`) are injected at dispatch:
+the plan names a dispatch ordinal, the fault rides the job message, and
+the worker (or its store write) misbehaves accordingly — deterministic
+enough to drill recovery in CI.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import multiprocessing
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+from .faults import FaultPlan
+from .retry import (
+    Dead,
+    JobAttempts,
+    JobFailure,
+    JobFailureError,
+    Retry,
+    RetryPolicy,
+)
+
+
+def _worker_main(conn, runner, heartbeat_interval_s: float) -> None:
+    """Worker process: serve jobs from ``conn`` until told to stop.
+
+    Protocol (parent -> worker): ``("job", key, payload, fault)`` or
+    ``("stop",)``.  Worker -> parent: ``("hb", key)`` heartbeats from a
+    background thread while a job runs, then ``("done", key, result)``
+    or ``("fail", key, detail_dict)``.  A ``kill`` fault SIGKILLs this
+    process at job start (a crash, from the supervisor's view); a
+    ``hang`` fault sleeps *without heartbeating* first, so the watchdog
+    sees a wedged worker.
+    """
+    import signal
+
+    supervisor_pid = os.getppid()
+    send_lock = threading.Lock()
+
+    def _send(msg) -> bool:
+        with send_lock:
+            try:
+                conn.send(msg)
+                return True
+            except (OSError, ValueError, BrokenPipeError):
+                return False  # parent went away; nothing left to do
+
+    while True:
+        try:
+            # Poll rather than block in recv(): sibling workers forked
+            # after us inherit dup'd ends of our pipe, so a dead
+            # supervisor never EOFs it.  Watching for re-parenting is
+            # the only reliable orphan signal (e.g. after the chaos
+            # drill's simulated server crash).
+            while not conn.poll(1.0):
+                if os.getppid() != supervisor_pid:
+                    return
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        if msg[0] == "stop":
+            break
+        _, key, payload, fault = msg
+        if fault is not None and fault.kind == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        if fault is not None and fault.kind == "hang":
+            # Silent wedge: no heartbeats while we sleep.  The
+            # supervisor must kill us; if it somehow doesn't, we wake
+            # up and run the job normally (the drill still converges).
+            time.sleep(fault.seconds)
+        stop_beating = threading.Event()
+
+        def _beat(job_key=key) -> None:
+            while not stop_beating.wait(heartbeat_interval_s):
+                if not _send(("hb", job_key)):
+                    return
+
+        beater = threading.Thread(target=_beat, daemon=True)
+        beater.start()
+        try:
+            result = runner(payload, fault)
+            out = ("done", key, result)
+        except Exception as exc:
+            out = (
+                "fail",
+                key,
+                {
+                    "type": type(exc).__name__,
+                    "message": str(exc),
+                    "description": getattr(exc, "description", None),
+                },
+            )
+        finally:
+            stop_beating.set()
+        if not _send(out):
+            break
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+@dataclass
+class _QueuedJob:
+    key: str
+    payload: object
+    ledger: JobAttempts
+    future: asyncio.Future
+    #: degradation labels already applied (each ladder rung fires once)
+    degradations: tuple[str, ...] = ()
+
+
+class _WorkerHandle:
+    def __init__(self, index: int, proc, conn) -> None:
+        self.index = index
+        self.proc = proc
+        self.conn = conn
+        self.job: _QueuedJob | None = None
+        self.dispatched_at = 0.0
+        self.last_heartbeat = 0.0
+
+
+@dataclass
+class SupervisorStats:
+    """Observable record of what the fleet did (the drill asserts on it)."""
+
+    submitted: int = 0
+    completed: int = 0
+    dispatches: int = 0
+    retries: int = 0
+    crashes: int = 0
+    hung: int = 0
+    timeouts: int = 0
+    errors: int = 0
+    restarts: int = 0
+    faults_injected: int = 0
+    #: successful completions per key — any value > 1 is a duplicate
+    #: simulation (the coalescing/dedup layer failed)
+    completions_by_key: dict[str, int] = field(default_factory=dict)
+    #: terminal failures, in dead-letter order
+    dead: list[JobFailure] = field(default_factory=list)
+    #: key -> degradation labels applied before it completed
+    degraded: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    @property
+    def duplicate_simulations(self) -> int:
+        return sum(c - 1 for c in self.completions_by_key.values() if c > 1)
+
+    def to_json(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "dispatches": self.dispatches,
+            "retries": self.retries,
+            "crashes": self.crashes,
+            "hung": self.hung,
+            "timeouts": self.timeouts,
+            "errors": self.errors,
+            "restarts": self.restarts,
+            "faults_injected": self.faults_injected,
+            "duplicate_simulations": self.duplicate_simulations,
+            "dead": [f.to_json() for f in self.dead],
+            "degraded": {k: list(v) for k, v in sorted(self.degraded.items())},
+        }
+
+
+class Supervisor:
+    """Async job queue over a supervised worker fleet.
+
+    ``runner`` is a module-level callable ``(payload, fault) -> result``
+    executed inside worker processes.  ``degrade`` is an optional
+    ladder hook ``(payload, failure, applied_labels) -> (payload, label)
+    | None`` consulted when a job exhausts its retries; a non-None
+    return re-queues the rewritten payload with a fresh attempt budget
+    (each label at most once per job).
+    """
+
+    def __init__(
+        self,
+        runner,
+        *,
+        workers: int = 2,
+        policy: RetryPolicy | None = None,
+        faults: FaultPlan | None = None,
+        degrade=None,
+        poll_interval_s: float = 0.01,
+        completion_hook=None,
+        mp_context: str | None = None,
+    ) -> None:
+        self.runner = runner
+        self.n_workers = max(1, workers)
+        self.policy = policy or RetryPolicy()
+        self.faults = faults
+        self.degrade = degrade
+        self.poll_interval_s = poll_interval_s
+        self.completion_hook = completion_hook
+        methods = multiprocessing.get_all_start_methods()
+        self._ctx = multiprocessing.get_context(
+            mp_context or ("fork" if "fork" in methods else None)
+        )
+        self.stats = SupervisorStats()
+        self._queue: list[_QueuedJob] = []
+        self._delayed: list[tuple[float, int, _QueuedJob]] = []  # heap
+        self._delay_seq = 0
+        self._active: dict[str, _QueuedJob] = {}
+        self._workers: list[_WorkerHandle] = []
+        self._loop_task: asyncio.Task | None = None
+        self._running = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._workers = [self._spawn(i) for i in range(self.n_workers)]
+        self._loop_task = asyncio.get_running_loop().create_task(self._loop())
+
+    async def stop(self) -> None:
+        """Tear the fleet down; unresolved jobs dead-letter as crashes."""
+        self._running = False
+        if self._loop_task is not None:
+            self._loop_task.cancel()
+            try:
+                await self._loop_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._loop_task = None
+        for job in list(self._active.values()):
+            if not job.future.done():
+                job.future.set_exception(
+                    JobFailureError(
+                        JobFailure(
+                            key=job.key,
+                            kind="crash",
+                            attempts=job.ledger.attempts,
+                            detail="service stopped with the job pending",
+                            description=job.ledger.description,
+                        )
+                    )
+                )
+        self._active.clear()
+        self._queue.clear()
+        self._delayed.clear()
+        for handle in self._workers:
+            if handle.proc.is_alive() and handle.job is None:
+                try:
+                    handle.conn.send(("stop",))
+                except (OSError, ValueError, BrokenPipeError):
+                    pass
+        for handle in self._workers:
+            handle.proc.join(timeout=0.5)
+            if handle.proc.is_alive():
+                handle.proc.kill()
+                handle.proc.join(timeout=0.5)
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+        self._workers = []
+
+    async def __aenter__(self) -> "Supervisor":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- client surface -------------------------------------------------
+
+    def submit(self, key: str, payload, description: dict | None = None):
+        """Queue one job; returns a future resolving to the result (or
+        raising :class:`JobFailureError`).  Keys must be unique among
+        *active* jobs — coalescing identical requests onto one future
+        is the server layer's job, not the queue's."""
+        if not self._running:
+            raise RuntimeError("supervisor is not running (use start()/async with)")
+        if key in self._active:
+            raise ValueError(f"job {key[:12]} is already active")
+        future = asyncio.get_running_loop().create_future()
+        job = _QueuedJob(
+            key=key,
+            payload=payload,
+            ledger=JobAttempts(key=key, description=description),
+            future=future,
+        )
+        self._active[key] = job
+        self._queue.append(job)
+        self.stats.submitted += 1
+        return future
+
+    def pending(self) -> int:
+        busy = sum(1 for w in self._workers if w.job is not None)
+        return len(self._queue) + len(self._delayed) + busy
+
+    async def join(self) -> None:
+        """Wait until every submitted job has resolved."""
+        while self.pending():
+            if self._loop_task is not None and self._loop_task.done():
+                self._loop_task.result()  # surface a crashed loop
+                raise RuntimeError("supervisor loop exited with jobs pending")
+            await asyncio.sleep(self.poll_interval_s)
+
+    # -- fleet ----------------------------------------------------------
+
+    def _spawn(self, index: int) -> _WorkerHandle:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self.runner, self.policy.heartbeat_interval_s),
+            daemon=True,
+            name=f"sweep-worker-{index}",
+        )
+        proc.start()
+        child_conn.close()
+        return _WorkerHandle(index, proc, parent_conn)
+
+    def _replace(self, handle: _WorkerHandle) -> None:
+        try:
+            if handle.proc.is_alive():
+                handle.proc.kill()
+            handle.proc.join(timeout=0.5)
+        except (OSError, ValueError):
+            pass
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        fresh = self._spawn(handle.index)
+        self._workers[self._workers.index(handle)] = fresh
+        self.stats.restarts += 1
+
+    # -- event loop -----------------------------------------------------
+
+    async def _loop(self) -> None:
+        while True:
+            now = time.monotonic()
+            self._promote_delayed(now)
+            self._dispatch(now)
+            self._drain(now)
+            self._watchdog(now)
+            await asyncio.sleep(self.poll_interval_s)
+
+    def _promote_delayed(self, now: float) -> None:
+        while self._delayed and self._delayed[0][0] <= now:
+            _, _, job = heapq.heappop(self._delayed)
+            self._queue.append(job)
+
+    def _dispatch(self, now: float) -> None:
+        for handle in self._workers:
+            if not self._queue:
+                return
+            if handle.job is not None or not handle.proc.is_alive():
+                continue
+            job = self._queue.pop(0)
+            fault = None
+            if self.faults is not None:
+                fault = self.faults.fault_for(self.stats.dispatches)
+            self.stats.dispatches += 1
+            if fault is not None:
+                self.stats.faults_injected += 1
+            try:
+                handle.conn.send(("job", job.key, job.payload, fault))
+            except (OSError, ValueError, BrokenPipeError):
+                # Worker died between health checks; re-queue and let
+                # the watchdog replace it on this same tick.
+                self._queue.insert(0, job)
+                continue
+            handle.job = job
+            handle.dispatched_at = now
+            handle.last_heartbeat = now
+
+    def _drain(self, now: float) -> None:
+        for handle in self._workers:
+            while True:
+                try:
+                    if not handle.conn.poll():
+                        break
+                    msg = handle.conn.recv()
+                except (EOFError, OSError, ValueError):
+                    # Pipe torn: the worker is gone.  The watchdog pass
+                    # right after this classifies and replaces it.
+                    break
+                kind = msg[0]
+                if kind == "hb":
+                    handle.last_heartbeat = now
+                elif kind == "done":
+                    _, key, result = msg
+                    job = handle.job
+                    handle.job = None
+                    if job is not None and job.key == key:
+                        self._complete(job, result)
+                elif kind == "fail":
+                    _, key, detail = msg
+                    job = handle.job
+                    handle.job = None
+                    if job is not None and job.key == key:
+                        message = f"{detail.get('type')}: {detail.get('message')}"
+                        if job.ledger.description is None:
+                            job.ledger.description = detail.get("description")
+                        self.stats.errors += 1
+                        self._failed(job, "error", message)
+
+    def _watchdog(self, now: float) -> None:
+        policy = self.policy
+        for handle in list(self._workers):
+            if not handle.proc.is_alive():
+                job, handle.job = handle.job, None
+                self._replace(handle)
+                if job is not None:
+                    self.stats.crashes += 1
+                    code = handle.proc.exitcode
+                    self._failed(job, "crash", f"worker died (exitcode {code})")
+                continue
+            job = handle.job
+            if job is None:
+                continue
+            if (
+                policy.timeout_s is not None
+                and now - handle.dispatched_at > policy.timeout_s
+            ):
+                handle.job = None
+                self._replace(handle)
+                self.stats.timeouts += 1
+                self._failed(
+                    job, "timeout", f"exceeded {policy.timeout_s}s deadline"
+                )
+            elif now - handle.last_heartbeat > policy.heartbeat_timeout_s:
+                handle.job = None
+                self._replace(handle)
+                self.stats.hung += 1
+                self._failed(
+                    job,
+                    "hung",
+                    f"no heartbeat for {policy.heartbeat_timeout_s}s",
+                )
+
+    # -- outcomes -------------------------------------------------------
+
+    def _complete(self, job: _QueuedJob, result) -> None:
+        self.stats.completed += 1
+        by_key = self.stats.completions_by_key
+        by_key[job.key] = by_key.get(job.key, 0) + 1
+        if job.degradations:
+            self.stats.degraded[job.key] = job.degradations
+        self._active.pop(job.key, None)
+        if not job.future.done():
+            job.future.set_result(result)
+        if self.completion_hook is not None:
+            self.completion_hook(job.key, result)
+
+    def _failed(self, job: _QueuedJob, kind: str, detail: str) -> None:
+        decision = job.ledger.decide(self.policy, kind, detail)
+        if isinstance(decision, Retry):
+            self.stats.retries += 1
+            self._delay_seq += 1
+            heapq.heappush(
+                self._delayed,
+                (time.monotonic() + decision.delay_s, self._delay_seq, job),
+            )
+            return
+        assert isinstance(decision, Dead)
+        failure = decision.failure
+        if self.degrade is not None:
+            step = self.degrade(job.payload, failure, job.degradations)
+            if step is not None:
+                payload, label = step
+                job.payload = payload
+                job.degradations = job.degradations + (label,)
+                job.ledger = JobAttempts(
+                    key=job.key, description=job.ledger.description
+                )
+                self._queue.append(job)
+                return
+        self.stats.dead.append(failure)
+        self._active.pop(job.key, None)
+        if not job.future.done():
+            job.future.set_exception(JobFailureError(failure))

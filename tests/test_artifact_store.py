@@ -84,6 +84,23 @@ class TestManifest:
         report = reopened.gc(max_bytes=0, min_age_s=0.0)
         assert report.entries_after == 0
 
+    def test_adversarially_corrupt_manifest_cannot_abort_gc(self, tmp_path):
+        """Malformed JSON is the easy case; bytes that *explode* inside
+        the decoder (deeply nested arrays raise RecursionError, not
+        ValueError) must equally mean "rebuild from the directory scan"
+        — a sidecar file may never take down a sweep mid-``gc``."""
+        store = _json_store(tmp_path)
+        for i in range(3):
+            store.save(_key(i), {"i": i})
+        (tmp_path / MANIFEST_NAME).write_bytes(b"[" * 100_000)
+
+        reopened = _json_store(tmp_path)
+        report = reopened.gc(max_bytes=0, min_age_s=0.0)  # must not raise
+        assert report.entries_before == 3
+        assert report.entries_after == 0
+        # The rewrite healed the manifest for the next reader.
+        assert _json_store(tmp_path).entries() == {}
+
     def test_concurrent_writer_entries_survive_a_flush(self, tmp_path):
         ours, theirs = _json_store(tmp_path), _json_store(tmp_path)
         theirs.save(_key(2), {"who": "them"})

@@ -1,0 +1,124 @@
+"""Retry policy unit tests: pure functions, no clocks, no sleeps.
+
+The retry layer is deliberately clock-free — ``backoff_delay`` returns
+seconds, ``JobAttempts.decide`` returns a decision — so every property
+here is asserted deterministically: exponential growth, the cap, jitter
+bounds and reproducibility, max-attempts exhaustion, and the
+timeout-vs-error classification split.
+"""
+
+import pytest
+
+from repro.service import (
+    FAILURE_KINDS,
+    Dead,
+    JobAttempts,
+    JobFailure,
+    JobFailureError,
+    Retry,
+    RetryPolicy,
+    backoff_delay,
+    jitter_fraction,
+)
+
+
+def test_backoff_is_exponential_then_capped():
+    policy = RetryPolicy(
+        base_delay_s=0.1, multiplier=2.0, max_delay_s=1.0, jitter=0.0
+    )
+    delays = [backoff_delay(policy, "k", attempt) for attempt in (1, 2, 3, 4, 5, 6)]
+    assert delays[:4] == pytest.approx([0.1, 0.2, 0.4, 0.8])
+    # The exponential would give 1.6 and 3.2; the cap holds at 1.0.
+    assert delays[4:] == pytest.approx([1.0, 1.0])
+
+
+def test_backoff_requires_a_failed_attempt():
+    with pytest.raises(ValueError):
+        backoff_delay(RetryPolicy(), "k", 0)
+
+
+def test_jitter_is_deterministic_and_bounded():
+    fractions = [
+        jitter_fraction(f"key-{i}", attempt)
+        for i in range(20)
+        for attempt in (1, 2)
+    ]
+    assert all(0.0 <= f < 1.0 for f in fractions)
+    assert len(set(fractions)) > 1  # distinct jobs de-synchronise
+    # Same (key, attempt) -> same jitter, run after run.
+    assert jitter_fraction("key-3", 2) == jitter_fraction("key-3", 2)
+
+
+def test_jittered_delay_stays_within_the_advertised_band():
+    policy = RetryPolicy(base_delay_s=0.1, multiplier=2.0, max_delay_s=1.0, jitter=0.5)
+    for attempt in range(1, 8):
+        raw = min(0.1 * 2.0 ** (attempt - 1), 1.0)
+        delay = backoff_delay(policy, "some-key", attempt)
+        assert raw <= delay < raw * 1.5
+        assert delay == backoff_delay(policy, "some-key", attempt)  # stable
+
+
+def test_retryable_classification():
+    policy = RetryPolicy()
+    assert not policy.retryable("error")  # deterministic failure: terminal
+    assert policy.retryable("timeout")
+    assert policy.retryable("hung")
+    assert policy.retryable("crash")
+    assert RetryPolicy(retry_errors=True).retryable("error")
+    with pytest.raises(ValueError):
+        policy.retryable("melted")
+
+
+def test_ledger_retries_then_exhausts_into_a_dead_letter():
+    policy = RetryPolicy(max_attempts=3, base_delay_s=0.1, jitter=0.0)
+    ledger = JobAttempts(key="job-1", description={"benchmark": "toy"})
+    first = ledger.decide(policy, "crash", "worker died")
+    assert isinstance(first, Retry)
+    assert first.attempt == 1
+    assert first.delay_s == pytest.approx(0.1)
+    second = ledger.decide(policy, "timeout", "deadline")
+    assert isinstance(second, Retry)
+    assert second.delay_s == pytest.approx(0.2)  # exponential, no jitter
+    last = ledger.decide(policy, "hung", "no heartbeat")
+    assert isinstance(last, Dead)
+    failure = last.failure
+    assert failure.key == "job-1"
+    assert failure.kind == "hung"  # classified by the *last* failure
+    assert failure.attempts == 3
+    assert failure.description == {"benchmark": "toy"}
+    assert ledger.failures == [
+        ("crash", "worker died"),
+        ("timeout", "deadline"),
+        ("hung", "no heartbeat"),
+    ]
+
+
+def test_error_kind_is_terminal_on_the_first_attempt():
+    ledger = JobAttempts(key="job-2")
+    decision = ledger.decide(RetryPolicy(max_attempts=5), "error", "ValueError: x")
+    assert isinstance(decision, Dead)
+    assert decision.failure.kind == "error"
+    assert decision.failure.attempts == 1
+    # ... unless the policy opts in to retrying errors.
+    retrying = JobAttempts(key="job-3")
+    assert isinstance(
+        retrying.decide(RetryPolicy(retry_errors=True), "error", "x"), Retry
+    )
+
+
+def test_job_failure_round_trips_through_json():
+    failure = JobFailure(
+        key="a" * 64,
+        kind="timeout",
+        attempts=4,
+        detail="exceeded 60s",
+        description={"benchmark": "gsmdec", "scheduler": "sms"},
+    )
+    assert JobFailure.from_json(failure.to_json()) == failure
+    error = JobFailureError(failure)
+    assert error.failure is failure
+    assert "timeout" in str(error) and "gsmdec" in str(error)
+
+
+def test_failure_kinds_cover_the_taxonomy():
+    assert FAILURE_KINDS == ("error", "timeout", "hung", "crash")
